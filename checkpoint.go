@@ -1,0 +1,94 @@
+package streamgnn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"streamgnn/internal/dgnn"
+)
+
+// checkpointVersion guards the on-disk format.
+const checkpointVersion = 1
+
+// checkpoint is the gob-encoded engine state: everything *learned* — model
+// and head parameters, recurrent state, the chip distribution — plus the
+// step counter. The graph snapshot itself is NOT included: reconstruct it by
+// replaying the stream (see internal/stream's JSONL encoding), then load the
+// checkpoint to resume with a trained model. Optimizer moments and pending
+// (not yet revealed) predictions are transient and start fresh on resume.
+type checkpoint struct {
+	Version  int
+	Model    string
+	Strategy string
+	Hidden   int
+	Step     int
+	Params   []dgnn.StateDump
+	States   []dgnn.StateDump
+	Chips    []int
+}
+
+// SaveCheckpoint writes the engine's learned state to w.
+func (e *Engine) SaveCheckpoint(w io.Writer) error {
+	ck := checkpoint{
+		Version:  checkpointVersion,
+		Model:    e.cfg.Model,
+		Strategy: e.cfg.Strategy,
+		Hidden:   e.cfg.Hidden,
+		Step:     e.step,
+		States:   e.model.DumpState(),
+	}
+	for _, p := range e.allParams() {
+		ck.Params = append(ck.Params, dgnn.StateDump{
+			Rows: p.Value.Rows, Cols: p.Value.Cols,
+			Data: append([]float64(nil), p.Value.Data...),
+		})
+	}
+	if e.sched != nil && e.sched.Adaptive != nil {
+		ck.Chips = e.sched.Adaptive.Chips.Counts()
+	}
+	return gob.NewEncoder(w).Encode(ck)
+}
+
+// LoadCheckpoint restores learned state saved by SaveCheckpoint into a
+// compatible engine (same model, strategy and hidden size). The graph
+// snapshot must be reconstructed separately before stepping resumes.
+func (e *Engine) LoadCheckpoint(r io.Reader) error {
+	var ck checkpoint
+	if err := gob.NewDecoder(r).Decode(&ck); err != nil {
+		return fmt.Errorf("streamgnn: decoding checkpoint: %w", err)
+	}
+	if ck.Version != checkpointVersion {
+		return fmt.Errorf("streamgnn: checkpoint version %d, want %d", ck.Version, checkpointVersion)
+	}
+	if ck.Model != e.cfg.Model || ck.Strategy != e.cfg.Strategy || ck.Hidden != e.cfg.Hidden {
+		return fmt.Errorf("streamgnn: checkpoint is for %s/%s/h=%d, engine is %s/%s/h=%d",
+			ck.Model, ck.Strategy, ck.Hidden, e.cfg.Model, e.cfg.Strategy, e.cfg.Hidden)
+	}
+	params := e.allParams()
+	if len(ck.Params) != len(params) {
+		return fmt.Errorf("streamgnn: checkpoint has %d parameters, engine has %d", len(ck.Params), len(params))
+	}
+	for i, p := range params {
+		d := ck.Params[i]
+		if d.Rows != p.Value.Rows || d.Cols != p.Value.Cols || len(d.Data) != len(p.Value.Data) {
+			return fmt.Errorf("streamgnn: parameter %d shape mismatch (%dx%d vs %dx%d)",
+				i, d.Rows, d.Cols, p.Value.Rows, p.Value.Cols)
+		}
+	}
+	for i, p := range params {
+		copy(p.Value.Data, ck.Params[i].Data)
+	}
+	if err := e.model.RestoreState(ck.States); err != nil {
+		return err
+	}
+	e.step = ck.Step
+	e.pendingChips = ck.Chips
+	if e.sched != nil && e.sched.Adaptive != nil && len(ck.Chips) > 0 {
+		if err := e.sched.Adaptive.Chips.Restore(ck.Chips); err != nil {
+			return err
+		}
+		e.pendingChips = nil
+	}
+	return nil
+}

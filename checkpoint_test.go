@@ -1,0 +1,112 @@
+package streamgnn
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Hidden = 8
+	e1 := endToEnd(t, cfg, 8)
+
+	var buf bytes.Buffer
+	if err := e1.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh engine over an identical graph; load the checkpoint.
+	e2, err := NewEngine(3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 12
+	for i := 0; i < n; i++ {
+		e2.AddNode(0, []float64{float64(i % 2), 0, 1})
+	}
+	for i := 0; i < n; i++ {
+		e2.AddUndirectedEdge(i, (i+1)%n, 0)
+	}
+	if err := e2.LoadCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if e2.CurrentStep() != e1.CurrentStep() {
+		t.Fatalf("step not restored: %d vs %d", e2.CurrentStep(), e1.CurrentStep())
+	}
+	// Parameters restored bit-for-bit.
+	p1, p2 := e1.allParams(), e2.allParams()
+	for i := range p1 {
+		if !p1[i].Value.Equal(p2[i].Value) {
+			t.Fatalf("param %d differs after restore", i)
+		}
+	}
+	// Recurrent state restored: the next inference on the same graph must
+	// produce identical embeddings... after one step on identical inputs.
+	lab := func(anchor, step int) (float64, bool) { return 1, true }
+	if err := e2.AddQuery(Query{Name: "q", Anchors: []int{0}, Delta: 1, Labeler: lab}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if len(e2.Embedding(0)) != 8 {
+		t.Fatal("restored engine cannot step")
+	}
+}
+
+func TestCheckpointChipsSurvive(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Strategy = StrategyWeighted
+	cfg.Hidden = 6
+	e1 := endToEnd(t, cfg, 6)
+	var buf bytes.Buffer
+	if err := e1.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	e2, _ := NewEngine(3, cfg)
+	for i := 0; i < 12; i++ {
+		e2.AddNode(0, []float64{1, 0, 1})
+	}
+	for i := 0; i < 12; i++ {
+		e2.AddUndirectedEdge(i, (i+1)%12, 0)
+	}
+	if err := e2.LoadCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Chips apply lazily at the first step.
+	lab := func(anchor, step int) (float64, bool) { return 1, true }
+	if err := e2.AddQuery(Query{Name: "q", Anchors: []int{0}, Delta: 1, Labeler: lab}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Step(); err != nil {
+		t.Fatal(err)
+	}
+	c1 := e1.sched.Adaptive.Chips.Counts()
+	c2 := e2.sched.Adaptive.Chips.Counts()
+	for v := range c1 {
+		if c1[v] != c2[v] {
+			t.Fatalf("chip counts differ at node %d: %d vs %d", v, c1[v], c2[v])
+		}
+	}
+}
+
+func TestCheckpointRejectsMismatch(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Hidden = 8
+	e1 := endToEnd(t, cfg, 4)
+	var buf bytes.Buffer
+	if err := e1.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := DefaultConfig()
+	other.Model = "DCRNN"
+	other.Hidden = 8
+	e2, _ := NewEngine(3, other)
+	if err := e2.LoadCheckpoint(&buf); err == nil {
+		t.Fatal("model mismatch accepted")
+	}
+	e3, _ := NewEngine(3, cfg)
+	if err := e3.LoadCheckpoint(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

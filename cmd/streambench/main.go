@@ -1,0 +1,116 @@
+// Command streambench regenerates the paper's evaluation tables:
+//
+//	streambench -table 1 [-runs 10]   # Table I  (event monitoring)
+//	streambench -table 2 [-runs 10]   # Table II (link prediction)
+//	streambench -table 3 [-runs 10]   # Table III (parameter study)
+//
+// Use -steps and -scale to trade fidelity for speed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"streamgnn/internal/bench"
+)
+
+func main() {
+	table := flag.Int("table", 1, "which table to reproduce (1, 2 or 3), or 0 with -scaling")
+	scaling := flag.Bool("scaling", false, "run the scaling study instead of a table")
+	runs := flag.Int("runs", 10, "repetitions per cell (the paper uses 10)")
+	steps := flag.Int("steps", 40, "stream steps per run")
+	scale := flag.Float64("scale", 1, "workload scale factor")
+	flag.Parse()
+
+	var err error
+	if *scaling {
+		fmt.Printf("SCALING STUDY: full vs KDE training cost as the Taxi stream grows (%d steps)\n\n", *steps)
+		pts, serr := bench.RunScaling([]float64{0.5, 1, 2, 4}, *steps, 1)
+		if serr != nil {
+			fmt.Fprintln(os.Stderr, "streambench:", serr)
+			os.Exit(1)
+		}
+		bench.WriteScaling(os.Stdout, pts)
+		return
+	}
+	switch *table {
+	case 1:
+		fmt.Printf("TABLE I: event monitoring workloads (%d runs/cell, %d steps)\n\n", *runs, *steps)
+		err = runTable(bench.TableICells(), *runs, *steps, *scale, false)
+	case 2:
+		fmt.Printf("TABLE II: link prediction workloads (%d runs/cell, %d steps)\n\n", *runs, *steps)
+		err = runTable(bench.TableIICells(), *runs, *steps, *scale, true)
+	case 3:
+		fmt.Printf("TABLE III: parameter study (%d runs/cell, %d steps, KDE method)\n\n", *runs, *steps)
+		for _, spec := range bench.TableIIISweeps() {
+			if err = runSweep(spec, *runs, *steps, *scale); err != nil {
+				break
+			}
+			fmt.Println()
+		}
+	default:
+		err = fmt.Errorf("unknown table %d", *table)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "streambench:", err)
+		os.Exit(1)
+	}
+}
+
+func runTable(cells [][2]string, runs, steps int, scale float64, linkPred bool) error {
+	header(linkPred)
+	for _, cell := range cells {
+		for _, strat := range bench.Strategies() {
+			cfg := bench.EqualizedCell(cell[0], cell[1], strat)
+			cfg.Gen.Steps = steps
+			cfg.Gen.Scale = scale
+			agg, err := bench.RunRepeated(cfg, runs)
+			if err != nil {
+				return err
+			}
+			printRow(cell[0], cell[1], strat.String(), agg, linkPred)
+		}
+	}
+	return nil
+}
+
+func runSweep(spec bench.SweepSpec, runs, steps int, scale float64) error {
+	fmt.Printf("-- sweep %s on %s (%s) --\n", spec.Label, spec.Dataset, spec.Model)
+	header(false)
+	for _, v := range spec.Values {
+		cfg := bench.EqualizedCell(spec.Dataset, spec.Model, bench.Strategies()[2])
+		cfg.Gen.Steps = steps
+		cfg.Gen.Scale = scale
+		spec.Apply(&cfg, v)
+		agg, err := bench.RunRepeated(cfg, runs)
+		if err != nil {
+			return err
+		}
+		printRow(spec.Dataset, spec.Model, fmt.Sprintf("%s=%g", spec.Label, v), agg, false)
+	}
+	return nil
+}
+
+func header(linkPred bool) {
+	q := "Error"
+	if linkPred {
+		q = "Accuracy"
+	}
+	fmt.Printf("%-14s %-12s %-14s %16s %10s %16s %16s %16s\n",
+		"Dataset", "Model", "Method", "TrainTime(s)", "Memory", q, "AUC", "MRR")
+}
+
+func printRow(dataset, model, method string, agg bench.AggResult, linkPred bool) {
+	quality := agg.Error
+	if linkPred {
+		quality = agg.Accuracy
+	}
+	fmt.Printf("%-14s %-12s %-14s %16s %10s %16s %16s %16s\n",
+		dataset, model, method,
+		fmt.Sprintf("%.3f±%.3f", agg.Time.Mean(), agg.Time.Std()),
+		bench.FormatBytes(agg.PeakBytes),
+		fmt.Sprintf("%.3f±%.3f", quality.Mean(), quality.Std()),
+		fmt.Sprintf("%.3f±%.3f", agg.AUC.Mean(), agg.AUC.Std()),
+		fmt.Sprintf("%.3f±%.3f", agg.MRR.Mean(), agg.MRR.Std()))
+}

@@ -1,0 +1,34 @@
+// Command streamgen exports a built-in synthetic graph-stream workload as
+// JSON Lines on stdout, one event per line, for inspection or replay by
+// external tools (and by queryd/examples via stream.JSONLSource).
+//
+//	streamgen -dataset Taxi -steps 40 -seed 1 > taxi.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"streamgnn/internal/stream"
+	"streamgnn/internal/workload"
+)
+
+func main() {
+	dataset := flag.String("dataset", "Bitcoin", "workload: "+strings.Join(workload.Names(), ", "))
+	steps := flag.Int("steps", 40, "stream steps")
+	seed := flag.Int64("seed", 1, "random seed")
+	scale := flag.Float64("scale", 1, "workload scale factor")
+	flag.Parse()
+
+	ds, err := workload.ByName(*dataset, workload.GenConfig{Seed: *seed, Steps: *steps, Scale: *scale})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "streamgen:", err)
+		os.Exit(1)
+	}
+	if err := stream.WriteJSONL(os.Stdout, ds.Batches); err != nil {
+		fmt.Fprintln(os.Stderr, "streamgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module streamgnn
+
+go 1.22

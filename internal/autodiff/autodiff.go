@@ -1,0 +1,407 @@
+// Package autodiff implements a small tape-based reverse-mode automatic
+// differentiation engine over dense matrices. It provides exactly the set of
+// operations needed to express the seven dynamic-graph-neural-network
+// baselines used in the paper's evaluation, plus SGD and Adam optimizers.
+//
+// A Tape records the forward computation; Backward walks the tape in reverse
+// and accumulates gradients into the nodes that require them. Parameters are
+// long-lived nodes whose Value persists across steps; the tape itself is
+// rebuilt for every forward pass.
+package autodiff
+
+import (
+	"fmt"
+	"math"
+
+	"streamgnn/internal/tensor"
+)
+
+// Node is one value in the computation graph.
+type Node struct {
+	Value *tensor.Matrix
+	Grad  *tensor.Matrix
+
+	requiresGrad bool
+	back         func()
+	parents      []*Node
+	visited      bool
+}
+
+// RequiresGrad reports whether gradients are accumulated into this node.
+func (n *Node) RequiresGrad() bool { return n.requiresGrad }
+
+// Tape records a forward computation for reverse-mode differentiation.
+type Tape struct {
+	nodes []*Node
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+// Reset discards all recorded operations so the tape can be reused.
+func (t *Tape) Reset() { t.nodes = t.nodes[:0] }
+
+// Len returns the number of recorded nodes (for tests).
+func (t *Tape) Len() int { return len(t.nodes) }
+
+// Param wraps a persistent parameter matrix in a gradient-tracked node.
+// The node's Grad buffer is allocated lazily by Backward.
+func Param(v *tensor.Matrix) *Node {
+	return &Node{Value: v, requiresGrad: true}
+}
+
+// Constant wraps a matrix that does not require a gradient.
+func Constant(v *tensor.Matrix) *Node {
+	return &Node{Value: v}
+}
+
+func (t *Tape) record(n *Node) *Node {
+	t.nodes = append(t.nodes, n)
+	return n
+}
+
+func anyGrad(ps ...*Node) bool {
+	for _, p := range ps {
+		if p.requiresGrad {
+			return true
+		}
+	}
+	return false
+}
+
+func ensureGrad(n *Node) {
+	if n.Grad == nil {
+		n.Grad = tensor.New(n.Value.Rows, n.Value.Cols)
+	}
+}
+
+// Backward runs reverse-mode differentiation from root, which must be a
+// scalar (1x1) node produced by this tape. Gradients accumulate into every
+// reachable node with requiresGrad.
+func (t *Tape) Backward(root *Node) {
+	if root.Value.Rows != 1 || root.Value.Cols != 1 {
+		panic(fmt.Sprintf("autodiff: Backward root must be 1x1, got %dx%d", root.Value.Rows, root.Value.Cols))
+	}
+	// Topological order via DFS over recorded nodes.
+	order := make([]*Node, 0, len(t.nodes))
+	var visit func(n *Node)
+	visit = func(n *Node) {
+		if n.visited || n.back == nil {
+			return
+		}
+		n.visited = true
+		for _, p := range n.parents {
+			visit(p)
+		}
+		order = append(order, n)
+	}
+	visit(root)
+	for _, n := range order {
+		n.visited = false
+	}
+	ensureGrad(root)
+	root.Grad.Data[0] = 1
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		if n.Grad != nil {
+			n.back()
+		}
+	}
+}
+
+// --- operations ---
+
+// MatMul returns a·b.
+func (t *Tape) MatMul(a, b *Node) *Node {
+	out := &Node{Value: tensor.MatMul(a.Value, b.Value), requiresGrad: anyGrad(a, b), parents: []*Node{a, b}}
+	out.back = func() {
+		if a.requiresGrad {
+			ensureGrad(a)
+			tensor.AddInPlace(a.Grad, tensor.MatMulTransB(out.Grad, b.Value))
+		}
+		if b.requiresGrad {
+			ensureGrad(b)
+			tensor.AddInPlace(b.Grad, tensor.MatMulTransA(a.Value, out.Grad))
+		}
+	}
+	return t.record(out)
+}
+
+// SpMM returns s·x where s is a constant sparse matrix (no gradient flows
+// into s; this matches graph adjacency use).
+func (t *Tape) SpMM(s *tensor.CSR, x *Node) *Node {
+	out := &Node{Value: tensor.SpMM(s, x.Value), requiresGrad: x.requiresGrad, parents: []*Node{x}}
+	out.back = func() {
+		if x.requiresGrad {
+			ensureGrad(x)
+			tensor.AddInPlace(x.Grad, tensor.SpMMTrans(s, out.Grad))
+		}
+	}
+	return t.record(out)
+}
+
+// Add returns a+b (same shape).
+func (t *Tape) Add(a, b *Node) *Node {
+	out := &Node{Value: tensor.Add(a.Value, b.Value), requiresGrad: anyGrad(a, b), parents: []*Node{a, b}}
+	out.back = func() {
+		if a.requiresGrad {
+			ensureGrad(a)
+			tensor.AddInPlace(a.Grad, out.Grad)
+		}
+		if b.requiresGrad {
+			ensureGrad(b)
+			tensor.AddInPlace(b.Grad, out.Grad)
+		}
+	}
+	return t.record(out)
+}
+
+// Sub returns a−b.
+func (t *Tape) Sub(a, b *Node) *Node {
+	out := &Node{Value: tensor.Sub(a.Value, b.Value), requiresGrad: anyGrad(a, b), parents: []*Node{a, b}}
+	out.back = func() {
+		if a.requiresGrad {
+			ensureGrad(a)
+			tensor.AddInPlace(a.Grad, out.Grad)
+		}
+		if b.requiresGrad {
+			ensureGrad(b)
+			tensor.AddScaledInPlace(b.Grad, out.Grad, -1)
+		}
+	}
+	return t.record(out)
+}
+
+// Mul returns the Hadamard product a∘b.
+func (t *Tape) Mul(a, b *Node) *Node {
+	out := &Node{Value: tensor.Mul(a.Value, b.Value), requiresGrad: anyGrad(a, b), parents: []*Node{a, b}}
+	out.back = func() {
+		if a.requiresGrad {
+			ensureGrad(a)
+			tensor.AddInPlace(a.Grad, tensor.Mul(out.Grad, b.Value))
+		}
+		if b.requiresGrad {
+			ensureGrad(b)
+			tensor.AddInPlace(b.Grad, tensor.Mul(out.Grad, a.Value))
+		}
+	}
+	return t.record(out)
+}
+
+// Scale returns s·a for scalar constant s.
+func (t *Tape) Scale(a *Node, s float64) *Node {
+	out := &Node{Value: tensor.Scale(a.Value, s), requiresGrad: a.requiresGrad, parents: []*Node{a}}
+	out.back = func() {
+		if a.requiresGrad {
+			ensureGrad(a)
+			tensor.AddScaledInPlace(a.Grad, out.Grad, s)
+		}
+	}
+	return t.record(out)
+}
+
+// AddBias returns m with the 1×cols bias row b added to every row.
+func (t *Tape) AddBias(m, b *Node) *Node {
+	out := &Node{Value: tensor.AddRowVector(m.Value, b.Value), requiresGrad: anyGrad(m, b), parents: []*Node{m, b}}
+	out.back = func() {
+		if m.requiresGrad {
+			ensureGrad(m)
+			tensor.AddInPlace(m.Grad, out.Grad)
+		}
+		if b.requiresGrad {
+			ensureGrad(b)
+			for r := 0; r < out.Grad.Rows; r++ {
+				row := out.Grad.Row(r)
+				for c, v := range row {
+					b.Grad.Data[c] += v
+				}
+			}
+		}
+	}
+	return t.record(out)
+}
+
+// Sigmoid applies the logistic function elementwise.
+func (t *Tape) Sigmoid(a *Node) *Node {
+	val := tensor.Apply(a.Value, tensor.Sigmoid)
+	out := &Node{Value: val, requiresGrad: a.requiresGrad, parents: []*Node{a}}
+	out.back = func() {
+		if a.requiresGrad {
+			ensureGrad(a)
+			for i, y := range val.Data {
+				a.Grad.Data[i] += out.Grad.Data[i] * y * (1 - y)
+			}
+		}
+	}
+	return t.record(out)
+}
+
+// Tanh applies tanh elementwise.
+func (t *Tape) Tanh(a *Node) *Node {
+	val := tensor.Apply(a.Value, math.Tanh)
+	out := &Node{Value: val, requiresGrad: a.requiresGrad, parents: []*Node{a}}
+	out.back = func() {
+		if a.requiresGrad {
+			ensureGrad(a)
+			for i, y := range val.Data {
+				a.Grad.Data[i] += out.Grad.Data[i] * (1 - y*y)
+			}
+		}
+	}
+	return t.record(out)
+}
+
+// ReLU applies max(0, x) elementwise.
+func (t *Tape) ReLU(a *Node) *Node {
+	val := tensor.Apply(a.Value, func(v float64) float64 {
+		if v > 0 {
+			return v
+		}
+		return 0
+	})
+	out := &Node{Value: val, requiresGrad: a.requiresGrad, parents: []*Node{a}}
+	out.back = func() {
+		if a.requiresGrad {
+			ensureGrad(a)
+			for i := range val.Data {
+				if a.Value.Data[i] > 0 {
+					a.Grad.Data[i] += out.Grad.Data[i]
+				}
+			}
+		}
+	}
+	return t.record(out)
+}
+
+// OneMinus returns 1−a elementwise (used by GRU gates).
+func (t *Tape) OneMinus(a *Node) *Node {
+	val := tensor.Apply(a.Value, func(v float64) float64 { return 1 - v })
+	out := &Node{Value: val, requiresGrad: a.requiresGrad, parents: []*Node{a}}
+	out.back = func() {
+		if a.requiresGrad {
+			ensureGrad(a)
+			tensor.AddScaledInPlace(a.Grad, out.Grad, -1)
+		}
+	}
+	return t.record(out)
+}
+
+// ConcatCols returns [a | b].
+func (t *Tape) ConcatCols(a, b *Node) *Node {
+	out := &Node{Value: tensor.ConcatCols(a.Value, b.Value), requiresGrad: anyGrad(a, b), parents: []*Node{a, b}}
+	out.back = func() {
+		if a.requiresGrad {
+			ensureGrad(a)
+			tensor.AddInPlace(a.Grad, tensor.SliceCols(out.Grad, 0, a.Value.Cols))
+		}
+		if b.requiresGrad {
+			ensureGrad(b)
+			tensor.AddInPlace(b.Grad, tensor.SliceCols(out.Grad, a.Value.Cols, out.Grad.Cols))
+		}
+	}
+	return t.record(out)
+}
+
+// GatherRows selects the given rows of a.
+func (t *Tape) GatherRows(a *Node, rows []int) *Node {
+	idx := append([]int(nil), rows...)
+	out := &Node{Value: tensor.GatherRows(a.Value, idx), requiresGrad: a.requiresGrad, parents: []*Node{a}}
+	out.back = func() {
+		if a.requiresGrad {
+			ensureGrad(a)
+			for i, r := range idx {
+				grow := out.Grad.Row(i)
+				arow := a.Grad.Row(r)
+				for c, v := range grow {
+					arow[c] += v
+				}
+			}
+		}
+	}
+	return t.record(out)
+}
+
+// Mean returns the scalar mean of all elements of a.
+func (t *Tape) Mean(a *Node) *Node {
+	val := tensor.FromSlice(1, 1, []float64{a.Value.Mean()})
+	out := &Node{Value: val, requiresGrad: a.requiresGrad, parents: []*Node{a}}
+	out.back = func() {
+		if a.requiresGrad {
+			ensureGrad(a)
+			g := out.Grad.Data[0] / float64(len(a.Value.Data))
+			for i := range a.Grad.Data {
+				a.Grad.Data[i] += g
+			}
+		}
+	}
+	return t.record(out)
+}
+
+// MSE returns mean squared error between pred and the constant target.
+func (t *Tape) MSE(pred *Node, target *tensor.Matrix) *Node {
+	diff := tensor.Sub(pred.Value, target)
+	var s float64
+	for _, v := range diff.Data {
+		s += v * v
+	}
+	n := float64(len(diff.Data))
+	out := &Node{Value: tensor.FromSlice(1, 1, []float64{s / n}), requiresGrad: pred.requiresGrad, parents: []*Node{pred}}
+	out.back = func() {
+		if pred.requiresGrad {
+			ensureGrad(pred)
+			g := out.Grad.Data[0] * 2 / n
+			for i, v := range diff.Data {
+				pred.Grad.Data[i] += g * v
+			}
+		}
+	}
+	return t.record(out)
+}
+
+// BCEWithLogits returns mean binary cross-entropy of logits against the
+// constant 0/1 target matrix, computed in a numerically stable form.
+func (t *Tape) BCEWithLogits(logits *Node, target *tensor.Matrix) *Node {
+	if logits.Value.Rows != target.Rows || logits.Value.Cols != target.Cols {
+		panic("autodiff: BCEWithLogits shape mismatch")
+	}
+	n := float64(len(target.Data))
+	var s float64
+	for i, z := range logits.Value.Data {
+		y := target.Data[i]
+		// log(1+e^z) - y*z, stable for both signs of z.
+		if z > 0 {
+			s += z - y*z + math.Log1p(math.Exp(-z))
+		} else {
+			s += -y*z + math.Log1p(math.Exp(z))
+		}
+	}
+	out := &Node{Value: tensor.FromSlice(1, 1, []float64{s / n}), requiresGrad: logits.requiresGrad, parents: []*Node{logits}}
+	out.back = func() {
+		if logits.requiresGrad {
+			ensureGrad(logits)
+			g := out.Grad.Data[0] / n
+			for i, z := range logits.Value.Data {
+				logits.Grad.Data[i] += g * (tensor.Sigmoid(z) - target.Data[i])
+			}
+		}
+	}
+	return t.record(out)
+}
+
+// AddScalarMul returns a + s·b, a fused helper for residual-style updates.
+func (t *Tape) AddScalarMul(a, b *Node, s float64) *Node {
+	val := a.Value.Clone()
+	tensor.AddScaledInPlace(val, b.Value, s)
+	out := &Node{Value: val, requiresGrad: anyGrad(a, b), parents: []*Node{a, b}}
+	out.back = func() {
+		if a.requiresGrad {
+			ensureGrad(a)
+			tensor.AddInPlace(a.Grad, out.Grad)
+		}
+		if b.requiresGrad {
+			ensureGrad(b)
+			tensor.AddScaledInPlace(b.Grad, out.Grad, s)
+		}
+	}
+	return t.record(out)
+}

@@ -1,0 +1,280 @@
+package autodiff
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streamgnn/internal/tensor"
+)
+
+// numericalGrad computes the finite-difference gradient of loss() with
+// respect to p.Value, where loss rebuilds the whole forward pass.
+func numericalGrad(p *Node, loss func() float64) *tensor.Matrix {
+	const h = 1e-6
+	g := tensor.New(p.Value.Rows, p.Value.Cols)
+	for i := range p.Value.Data {
+		orig := p.Value.Data[i]
+		p.Value.Data[i] = orig + h
+		up := loss()
+		p.Value.Data[i] = orig - h
+		down := loss()
+		p.Value.Data[i] = orig
+		g.Data[i] = (up - down) / (2 * h)
+	}
+	return g
+}
+
+// checkGrad compares the tape gradient of a scalar-valued forward function
+// against finite differences for every parameter in params.
+func checkGrad(t *testing.T, params []*Node, forward func(tp *Tape) *Node) {
+	t.Helper()
+	loss := func() float64 {
+		tp := NewTape()
+		return forward(tp).Value.Data[0]
+	}
+	tp := NewTape()
+	out := forward(tp)
+	tp.Backward(out)
+	for pi, p := range params {
+		want := numericalGrad(p, loss)
+		if p.Grad == nil {
+			if want.MaxAbs() > 1e-4 {
+				t.Fatalf("param %d: tape grad nil but numeric grad %v", pi, want)
+			}
+			continue
+		}
+		if !p.Grad.AllClose(want, 1e-4) {
+			t.Fatalf("param %d gradient mismatch:\n tape %v\n num  %v", pi, p.Grad, want)
+		}
+		p.Grad.Zero()
+	}
+}
+
+func TestMatMulGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := Param(tensor.NewRandom(rng, 3, 4, 1))
+	b := Param(tensor.NewRandom(rng, 4, 2, 1))
+	checkGrad(t, []*Node{a, b}, func(tp *Tape) *Node {
+		return tp.Mean(tp.MatMul(a, b))
+	})
+}
+
+func TestElementwiseGrads(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := Param(tensor.NewRandom(rng, 2, 3, 1))
+	b := Param(tensor.NewRandom(rng, 2, 3, 1))
+	cases := map[string]func(tp *Tape) *Node{
+		"add":      func(tp *Tape) *Node { return tp.Mean(tp.Add(a, b)) },
+		"sub":      func(tp *Tape) *Node { return tp.Mean(tp.Sub(a, b)) },
+		"mul":      func(tp *Tape) *Node { return tp.Mean(tp.Mul(a, b)) },
+		"scale":    func(tp *Tape) *Node { return tp.Mean(tp.Scale(a, -2.5)) },
+		"sigmoid":  func(tp *Tape) *Node { return tp.Mean(tp.Sigmoid(a)) },
+		"tanh":     func(tp *Tape) *Node { return tp.Mean(tp.Tanh(a)) },
+		"oneminus": func(tp *Tape) *Node { return tp.Mean(tp.OneMinus(tp.Sigmoid(a))) },
+		"addsm":    func(tp *Tape) *Node { return tp.Mean(tp.AddScalarMul(a, b, 0.3)) },
+	}
+	for name, f := range cases {
+		t.Run(name, func(t *testing.T) { checkGrad(t, []*Node{a, b}, f) })
+	}
+}
+
+func TestReLUGrad(t *testing.T) {
+	// Avoid kink at 0 by keeping values away from it.
+	a := Param(tensor.FromSlice(2, 2, []float64{-1.5, 0.7, 2.2, -0.4}))
+	checkGrad(t, []*Node{a}, func(tp *Tape) *Node {
+		return tp.Mean(tp.ReLU(a))
+	})
+}
+
+func TestSpMMGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	adj := tensor.NewCSR(3, 3, [][]tensor.CSREntry{
+		{{Col: 0, Val: 0.5}, {Col: 1, Val: 0.5}},
+		{{Col: 2, Val: 1.0}},
+		{{Col: 0, Val: 0.3}, {Col: 2, Val: 0.7}},
+	})
+	x := Param(tensor.NewRandom(rng, 3, 2, 1))
+	checkGrad(t, []*Node{x}, func(tp *Tape) *Node {
+		return tp.Mean(tp.SpMM(adj, x))
+	})
+}
+
+func TestAddBiasGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := Param(tensor.NewRandom(rng, 3, 2, 1))
+	b := Param(tensor.NewRandom(rng, 1, 2, 1))
+	checkGrad(t, []*Node{m, b}, func(tp *Tape) *Node {
+		return tp.Mean(tp.AddBias(m, b))
+	})
+}
+
+func TestConcatGatherGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := Param(tensor.NewRandom(rng, 3, 2, 1))
+	b := Param(tensor.NewRandom(rng, 3, 3, 1))
+	checkGrad(t, []*Node{a, b}, func(tp *Tape) *Node {
+		cat := tp.ConcatCols(a, b)
+		return tp.Mean(tp.GatherRows(cat, []int{2, 0, 2}))
+	})
+}
+
+func TestMSEGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	p := Param(tensor.NewRandom(rng, 3, 2, 1))
+	target := tensor.NewRandom(rng, 3, 2, 1)
+	checkGrad(t, []*Node{p}, func(tp *Tape) *Node {
+		return tp.MSE(p, target)
+	})
+}
+
+func TestBCEWithLogitsGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := Param(tensor.NewRandom(rng, 4, 1, 2))
+	target := tensor.New(4, 1)
+	target.Data[1] = 1
+	target.Data[3] = 1
+	checkGrad(t, []*Node{p}, func(tp *Tape) *Node {
+		return tp.BCEWithLogits(p, target)
+	})
+}
+
+func TestBCEWithLogitsValue(t *testing.T) {
+	// logit 0 against any target gives ln 2.
+	p := Param(tensor.New(1, 1))
+	tp := NewTape()
+	out := tp.BCEWithLogits(p, tensor.FromSlice(1, 1, []float64{1}))
+	if math.Abs(out.Value.Data[0]-math.Ln2) > 1e-12 {
+		t.Fatalf("BCE(0,1) = %v, want ln2", out.Value.Data[0])
+	}
+	// Large positive logit against target 1 -> ~0 loss.
+	p.Value.Data[0] = 30
+	tp = NewTape()
+	out = tp.BCEWithLogits(p, tensor.FromSlice(1, 1, []float64{1}))
+	if out.Value.Data[0] > 1e-10 {
+		t.Fatalf("BCE(30,1) = %v, want ~0", out.Value.Data[0])
+	}
+}
+
+func TestCompositeGRUStyleGrad(t *testing.T) {
+	// A GRU-flavored composite: h' = z∘h + (1−z)∘tanh(x·W), z = σ(x·Wz).
+	rng := rand.New(rand.NewSource(8))
+	x := Constant(tensor.NewRandom(rng, 2, 3, 1))
+	h := Param(tensor.NewRandom(rng, 2, 2, 1))
+	w := Param(tensor.NewRandom(rng, 3, 2, 1))
+	wz := Param(tensor.NewRandom(rng, 3, 2, 1))
+	target := tensor.NewRandom(rng, 2, 2, 1)
+	checkGrad(t, []*Node{h, w, wz}, func(tp *Tape) *Node {
+		z := tp.Sigmoid(tp.MatMul(x, wz))
+		cand := tp.Tanh(tp.MatMul(x, w))
+		hNew := tp.Add(tp.Mul(z, h), tp.Mul(tp.OneMinus(z), cand))
+		return tp.MSE(hNew, target)
+	})
+}
+
+func TestGradAccumulatesAcrossSharedUse(t *testing.T) {
+	// y = mean(a + a) has gradient 2/n per element.
+	a := Param(tensor.FromSlice(1, 2, []float64{1, 2}))
+	tp := NewTape()
+	out := tp.Mean(tp.Add(a, a))
+	tp.Backward(out)
+	want := tensor.FromSlice(1, 2, []float64{1, 1})
+	if !a.Grad.AllClose(want, 1e-12) {
+		t.Fatalf("shared-use grad = %v, want %v", a.Grad, want)
+	}
+}
+
+func TestConstantGetsNoGrad(t *testing.T) {
+	c := Constant(tensor.FromSlice(1, 1, []float64{3}))
+	p := Param(tensor.FromSlice(1, 1, []float64{2}))
+	tp := NewTape()
+	out := tp.Mean(tp.Mul(c, p))
+	tp.Backward(out)
+	if c.Grad != nil {
+		t.Fatal("constant received a gradient buffer")
+	}
+	if p.Grad == nil || math.Abs(p.Grad.Data[0]-3) > 1e-12 {
+		t.Fatalf("param grad = %v, want 3", p.Grad)
+	}
+}
+
+func TestBackwardRequiresScalar(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-scalar root")
+		}
+	}()
+	a := Param(tensor.New(2, 2))
+	tp := NewTape()
+	tp.Backward(tp.Add(a, a))
+}
+
+func TestSGDConvergesOnQuadratic(t *testing.T) {
+	// Minimize mean((w - target)^2) by SGD.
+	w := Param(tensor.FromSlice(1, 3, []float64{5, -4, 3}))
+	target := tensor.FromSlice(1, 3, []float64{1, 2, 3})
+	opt := NewSGD(0.3, []*Node{w})
+	for i := 0; i < 200; i++ {
+		tp := NewTape()
+		loss := tp.MSE(w, target)
+		tp.Backward(loss)
+		opt.Step()
+	}
+	if !w.Value.AllClose(target, 1e-3) {
+		t.Fatalf("SGD did not converge: %v", w.Value)
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	w := Param(tensor.FromSlice(1, 3, []float64{5, -4, 3}))
+	target := tensor.FromSlice(1, 3, []float64{1, 2, 3})
+	opt := NewAdam(0.1, []*Node{w})
+	for i := 0; i < 500; i++ {
+		tp := NewTape()
+		loss := tp.MSE(w, target)
+		tp.Backward(loss)
+		opt.Step()
+	}
+	if !w.Value.AllClose(target, 1e-2) {
+		t.Fatalf("Adam did not converge: %v", w.Value)
+	}
+}
+
+func TestClipScaleBoundsGradient(t *testing.T) {
+	w := Param(tensor.FromSlice(1, 2, []float64{0, 0}))
+	w.Grad = tensor.FromSlice(1, 2, []float64{30, 40}) // norm 50
+	s := clipScale([]*Node{w}, 5)
+	if math.Abs(s-0.1) > 1e-12 {
+		t.Fatalf("clipScale = %v, want 0.1", s)
+	}
+	if clipScale([]*Node{w}, 0) != 1 {
+		t.Fatal("clip disabled should return 1")
+	}
+	w.Grad = tensor.FromSlice(1, 2, []float64{0.3, 0.4})
+	if clipScale([]*Node{w}, 5) != 1 {
+		t.Fatal("within-bound gradient should not be scaled")
+	}
+}
+
+func TestOptimizerZeroGrad(t *testing.T) {
+	w := Param(tensor.FromSlice(1, 1, []float64{1}))
+	w.Grad = tensor.FromSlice(1, 1, []float64{9})
+	opt := NewSGD(0.1, []*Node{w})
+	opt.ZeroGrad()
+	if w.Grad.Data[0] != 0 {
+		t.Fatal("ZeroGrad did not clear gradient")
+	}
+}
+
+func TestTapeReset(t *testing.T) {
+	a := Param(tensor.FromSlice(1, 1, []float64{1}))
+	tp := NewTape()
+	tp.Mean(tp.Add(a, a))
+	if tp.Len() == 0 {
+		t.Fatal("tape recorded nothing")
+	}
+	tp.Reset()
+	if tp.Len() != 0 {
+		t.Fatal("Reset did not clear tape")
+	}
+}

@@ -1,0 +1,163 @@
+package autodiff
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"streamgnn/internal/tensor"
+)
+
+// Additional operations beyond the minimal DGNN set: row-wise softmax,
+// multi-class cross-entropy, dropout, and scalar sum — available for custom
+// models and heads built on the engine (e.g. multi-class event taxonomies).
+
+// Softmax applies a numerically stable row-wise softmax.
+func (t *Tape) Softmax(a *Node) *Node {
+	val := tensor.New(a.Value.Rows, a.Value.Cols)
+	for r := 0; r < a.Value.Rows; r++ {
+		row := a.Value.Row(r)
+		out := val.Row(r)
+		maxV := math.Inf(-1)
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		for c, v := range row {
+			out[c] = math.Exp(v - maxV)
+			sum += out[c]
+		}
+		for c := range out {
+			out[c] /= sum
+		}
+	}
+	out := &Node{Value: val, requiresGrad: a.requiresGrad, parents: []*Node{a}}
+	out.back = func() {
+		if !a.requiresGrad {
+			return
+		}
+		ensureGrad(a)
+		for r := 0; r < val.Rows; r++ {
+			y := val.Row(r)
+			g := out.Grad.Row(r)
+			var dot float64
+			for c := range y {
+				dot += y[c] * g[c]
+			}
+			arow := a.Grad.Row(r)
+			for c := range y {
+				arow[c] += y[c] * (g[c] - dot)
+			}
+		}
+	}
+	return t.record(out)
+}
+
+// CrossEntropy returns the mean negative log-likelihood of the given class
+// indices under row-wise softmax of the logits (fused, numerically stable).
+func (t *Tape) CrossEntropy(logits *Node, classes []int) *Node {
+	n := logits.Value.Rows
+	if len(classes) != n {
+		panic(fmt.Sprintf("autodiff: CrossEntropy got %d classes for %d rows", len(classes), n))
+	}
+	probs := tensor.New(n, logits.Value.Cols)
+	var loss float64
+	for r := 0; r < n; r++ {
+		row := logits.Value.Row(r)
+		c := classes[r]
+		if c < 0 || c >= len(row) {
+			panic(fmt.Sprintf("autodiff: class %d out of range [0,%d)", c, len(row)))
+		}
+		maxV := math.Inf(-1)
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		p := probs.Row(r)
+		for j, v := range row {
+			p[j] = math.Exp(v - maxV)
+			sum += p[j]
+		}
+		for j := range p {
+			p[j] /= sum
+		}
+		loss += -math.Log(p[c] + 1e-300)
+	}
+	out := &Node{
+		Value:        tensor.FromSlice(1, 1, []float64{loss / float64(n)}),
+		requiresGrad: logits.requiresGrad,
+		parents:      []*Node{logits},
+	}
+	out.back = func() {
+		if !logits.requiresGrad {
+			return
+		}
+		ensureGrad(logits)
+		g := out.Grad.Data[0] / float64(n)
+		for r := 0; r < n; r++ {
+			p := probs.Row(r)
+			grow := logits.Grad.Row(r)
+			for j, pj := range p {
+				grad := pj
+				if j == classes[r] {
+					grad -= 1
+				}
+				grow[j] += g * grad
+			}
+		}
+	}
+	return t.record(out)
+}
+
+// Dropout zeroes each element independently with probability p and scales
+// survivors by 1/(1-p) (inverted dropout). p = 0 is the identity.
+func (t *Tape) Dropout(a *Node, p float64, rng *rand.Rand) *Node {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("autodiff: dropout probability %v outside [0,1)", p))
+	}
+	if p == 0 {
+		return a
+	}
+	scale := 1 / (1 - p)
+	mask := tensor.New(a.Value.Rows, a.Value.Cols)
+	val := tensor.New(a.Value.Rows, a.Value.Cols)
+	for i, v := range a.Value.Data {
+		if rng.Float64() >= p {
+			mask.Data[i] = scale
+			val.Data[i] = v * scale
+		}
+	}
+	out := &Node{Value: val, requiresGrad: a.requiresGrad, parents: []*Node{a}}
+	out.back = func() {
+		if a.requiresGrad {
+			ensureGrad(a)
+			for i, m := range mask.Data {
+				a.Grad.Data[i] += out.Grad.Data[i] * m
+			}
+		}
+	}
+	return t.record(out)
+}
+
+// Sum returns the scalar sum of all elements of a.
+func (t *Tape) Sum(a *Node) *Node {
+	out := &Node{
+		Value:        tensor.FromSlice(1, 1, []float64{a.Value.Sum()}),
+		requiresGrad: a.requiresGrad,
+		parents:      []*Node{a},
+	}
+	out.back = func() {
+		if a.requiresGrad {
+			ensureGrad(a)
+			g := out.Grad.Data[0]
+			for i := range a.Grad.Data {
+				a.Grad.Data[i] += g
+			}
+		}
+	}
+	return t.record(out)
+}

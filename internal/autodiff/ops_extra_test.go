@@ -1,0 +1,166 @@
+package autodiff
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streamgnn/internal/tensor"
+)
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := Param(tensor.NewRandom(rng, 3, 5, 3))
+	tp := NewTape()
+	y := tp.Softmax(a)
+	for r := 0; r < 3; r++ {
+		var sum float64
+		for _, v := range y.Value.Row(r) {
+			if v < 0 {
+				t.Fatal("negative softmax output")
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("row %d sums to %v", r, sum)
+		}
+	}
+}
+
+func TestSoftmaxStability(t *testing.T) {
+	a := Param(tensor.FromSlice(1, 2, []float64{1000, 1001}))
+	tp := NewTape()
+	y := tp.Softmax(a)
+	if math.IsNaN(y.Value.Data[0]) || math.IsInf(y.Value.Data[1], 0) {
+		t.Fatal("softmax overflowed on large logits")
+	}
+}
+
+func TestSoftmaxGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := Param(tensor.NewRandom(rng, 2, 4, 1))
+	w := Param(tensor.NewRandom(rng, 4, 1, 1))
+	checkGrad(t, []*Node{a, w}, func(tp *Tape) *Node {
+		return tp.Mean(tp.MatMul(tp.Softmax(a), w))
+	})
+}
+
+func TestCrossEntropyValueAndGrad(t *testing.T) {
+	// Uniform logits over k classes give loss ln(k).
+	a := Param(tensor.New(2, 4))
+	tp := NewTape()
+	loss := tp.CrossEntropy(a, []int{0, 3})
+	if math.Abs(loss.Value.Data[0]-math.Log(4)) > 1e-12 {
+		t.Fatalf("uniform CE = %v, want ln4", loss.Value.Data[0])
+	}
+	rng := rand.New(rand.NewSource(3))
+	b := Param(tensor.NewRandom(rng, 3, 5, 1))
+	classes := []int{1, 4, 0}
+	checkGrad(t, []*Node{b}, func(tp *Tape) *Node {
+		return tp.CrossEntropy(b, classes)
+	})
+}
+
+func TestCrossEntropyLearnsClassification(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	w := Param(tensor.Glorot(rng, 2, 3))
+	x := tensor.FromSlice(3, 2, []float64{1, 0, 0, 1, -1, -1})
+	classes := []int{0, 1, 2}
+	opt := NewAdam(0.1, []*Node{w})
+	var last float64
+	for i := 0; i < 300; i++ {
+		tp := NewTape()
+		loss := tp.CrossEntropy(tp.MatMul(Constant(x), w), classes)
+		tp.Backward(loss)
+		opt.Step()
+		last = loss.Value.Data[0]
+	}
+	if last > 0.05 {
+		t.Fatalf("CE classifier did not converge: %v", last)
+	}
+}
+
+func TestCrossEntropyValidation(t *testing.T) {
+	a := Param(tensor.New(2, 3))
+	tp := NewTape()
+	mustPanic := func(f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		f()
+	}
+	mustPanic(func() { tp.CrossEntropy(a, []int{0}) })
+	mustPanic(func() { tp.CrossEntropy(a, []int{0, 9}) })
+}
+
+func TestDropoutTrainBehaviour(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := Param(tensor.FromSlice(1, 10000, onesSlice(10000)))
+	tp := NewTape()
+	y := tp.Dropout(a, 0.3, rng)
+	zeros := 0
+	var sum float64
+	for _, v := range y.Value.Data {
+		if v == 0 {
+			zeros++
+		}
+		sum += v
+	}
+	if math.Abs(float64(zeros)/10000-0.3) > 0.02 {
+		t.Fatalf("dropped fraction %v", float64(zeros)/10000)
+	}
+	// Inverted dropout preserves the expected sum.
+	if math.Abs(sum-10000) > 500 {
+		t.Fatalf("dropout sum %v, want ~10000", sum)
+	}
+	// Gradient flows only through the surviving mask.
+	loss := tp.Mean(y)
+	tp.Backward(loss)
+	for i, g := range a.Grad.Data {
+		if (y.Value.Data[i] == 0) != (g == 0) {
+			t.Fatal("gradient mask mismatch")
+		}
+	}
+}
+
+func TestDropoutZeroIsIdentity(t *testing.T) {
+	a := Param(tensor.FromSlice(1, 3, []float64{1, 2, 3}))
+	tp := NewTape()
+	if tp.Dropout(a, 0, nil) != a {
+		t.Fatal("p=0 should return the input node")
+	}
+}
+
+func TestDropoutValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a := Param(tensor.New(1, 1))
+	NewTape().Dropout(a, 1, rand.New(rand.NewSource(1)))
+}
+
+func TestSumGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := Param(tensor.NewRandom(rng, 2, 3, 1))
+	checkGrad(t, []*Node{a}, func(tp *Tape) *Node {
+		return tp.Sum(a)
+	})
+	tp := NewTape()
+	out := tp.Sum(a)
+	if math.Abs(out.Value.Data[0]-a.Value.Sum()) > 1e-12 {
+		t.Fatal("Sum value wrong")
+	}
+}
+
+func onesSlice(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}

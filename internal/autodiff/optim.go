@@ -1,0 +1,133 @@
+package autodiff
+
+import (
+	"math"
+
+	"streamgnn/internal/tensor"
+)
+
+// Optimizer updates a fixed set of parameters from their accumulated
+// gradients and clears the gradients afterwards.
+type Optimizer interface {
+	// Step applies one update using the gradients currently stored in the
+	// parameters and then zeroes them.
+	Step()
+	// ZeroGrad clears all parameter gradients without updating.
+	ZeroGrad()
+	// Params returns the parameter nodes managed by the optimizer.
+	Params() []*Node
+}
+
+// SGD is plain stochastic gradient descent with optional gradient clipping.
+type SGD struct {
+	LR       float64
+	ClipNorm float64 // 0 disables clipping
+	params   []*Node
+}
+
+// NewSGD returns an SGD optimizer over params.
+func NewSGD(lr float64, params []*Node) *SGD {
+	return &SGD{LR: lr, ClipNorm: 5, params: params}
+}
+
+// Params implements Optimizer.
+func (o *SGD) Params() []*Node { return o.params }
+
+// ZeroGrad implements Optimizer.
+func (o *SGD) ZeroGrad() { zeroGrads(o.params) }
+
+// Step implements Optimizer.
+func (o *SGD) Step() {
+	scale := clipScale(o.params, o.ClipNorm)
+	for _, p := range o.params {
+		if p.Grad == nil {
+			continue
+		}
+		tensor.AddScaledInPlace(p.Value, p.Grad, -o.LR*scale)
+	}
+	o.ZeroGrad()
+}
+
+// Adam implements the Adam optimizer (Kingma & Ba) with bias correction and
+// optional global-norm gradient clipping.
+type Adam struct {
+	LR       float64
+	Beta1    float64
+	Beta2    float64
+	Eps      float64
+	ClipNorm float64 // 0 disables clipping
+	params   []*Node
+	m, v     []*tensor.Matrix
+	step     int
+}
+
+// NewAdam returns an Adam optimizer over params with standard defaults.
+func NewAdam(lr float64, params []*Node) *Adam {
+	a := &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, ClipNorm: 5, params: params}
+	a.m = make([]*tensor.Matrix, len(params))
+	a.v = make([]*tensor.Matrix, len(params))
+	for i, p := range params {
+		a.m[i] = tensor.New(p.Value.Rows, p.Value.Cols)
+		a.v[i] = tensor.New(p.Value.Rows, p.Value.Cols)
+	}
+	return a
+}
+
+// Params implements Optimizer.
+func (o *Adam) Params() []*Node { return o.params }
+
+// ZeroGrad implements Optimizer.
+func (o *Adam) ZeroGrad() { zeroGrads(o.params) }
+
+// Step implements Optimizer.
+func (o *Adam) Step() {
+	o.step++
+	scale := clipScale(o.params, o.ClipNorm)
+	bc1 := 1 - math.Pow(o.Beta1, float64(o.step))
+	bc2 := 1 - math.Pow(o.Beta2, float64(o.step))
+	for i, p := range o.params {
+		if p.Grad == nil {
+			continue
+		}
+		m, v := o.m[i], o.v[i]
+		for j, g := range p.Grad.Data {
+			g *= scale
+			m.Data[j] = o.Beta1*m.Data[j] + (1-o.Beta1)*g
+			v.Data[j] = o.Beta2*v.Data[j] + (1-o.Beta2)*g*g
+			mhat := m.Data[j] / bc1
+			vhat := v.Data[j] / bc2
+			p.Value.Data[j] -= o.LR * mhat / (math.Sqrt(vhat) + o.Eps)
+		}
+	}
+	o.ZeroGrad()
+}
+
+func zeroGrads(params []*Node) {
+	for _, p := range params {
+		if p.Grad != nil {
+			p.Grad.Zero()
+		}
+	}
+}
+
+// clipScale returns the factor that rescales the global gradient norm to at
+// most clip (1 when clipping is disabled or the norm is within bounds).
+func clipScale(params []*Node, clip float64) float64 {
+	if clip <= 0 {
+		return 1
+	}
+	var sq float64
+	for _, p := range params {
+		if p.Grad == nil {
+			continue
+		}
+		for _, g := range p.Grad.Data {
+			sq += g * g
+		}
+	}
+	norm := math.Sqrt(sq)
+	if norm <= clip || norm == 0 {
+		return 1
+	}
+	return clip / norm
+}

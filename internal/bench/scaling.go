@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"streamgnn/internal/core"
+)
+
+// ScalingPoint is one measurement of the scaling study: training cost of
+// full vs adaptive training as the stream (and with it the snapshot) grows.
+type ScalingPoint struct {
+	Scale        float64
+	Nodes        int
+	FullSeconds  float64
+	KDESeconds   float64
+	FullPeak     int64
+	KDEPeak      int64
+	FullError    float64
+	KDEError     float64
+	TimeSpeedup  float64
+	MemReduction float64
+}
+
+// RunScaling measures the paper's complexity argument directly: per-step
+// full training is O(n) while a node partition is O(d^L), so the resource
+// gap must widen as the workload scales. Uses the Taxi generator, whose node
+// count grows with scale and steps.
+func RunScaling(scales []float64, steps int, seed int64) ([]ScalingPoint, error) {
+	var out []ScalingPoint
+	for _, scale := range scales {
+		full := EqualizedCell("Taxi", "DCRNN", core.Full)
+		full.Gen.Scale = scale
+		full.Gen.Steps = steps
+		full.Seed = seed
+		full.Gen.Seed = seed
+		fr, err := RunCell(full)
+		if err != nil {
+			return nil, err
+		}
+		kde := EqualizedCell("Taxi", "DCRNN", core.KDE)
+		kde.Gen.Scale = scale
+		kde.Gen.Steps = steps
+		kde.Seed = seed
+		kde.Gen.Seed = seed
+		kr, err := RunCell(kde)
+		if err != nil {
+			return nil, err
+		}
+		p := ScalingPoint{
+			Scale:       scale,
+			Nodes:       36 + int(scale*22)*(steps-1), // grid + trips
+			FullSeconds: fr.TrainTime.Seconds(),
+			KDESeconds:  kr.TrainTime.Seconds(),
+			FullPeak:    fr.PeakStepBytes,
+			KDEPeak:     kr.PeakStepBytes,
+			FullError:   fr.Error,
+			KDEError:    kr.Error,
+		}
+		if p.KDESeconds > 0 {
+			p.TimeSpeedup = p.FullSeconds / p.KDESeconds
+		}
+		if p.KDEPeak > 0 {
+			p.MemReduction = float64(p.FullPeak) / float64(p.KDEPeak)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// WriteScaling prints the scaling study as a table.
+func WriteScaling(w io.Writer, points []ScalingPoint) {
+	fmt.Fprintf(w, "%8s %8s %12s %12s %10s %10s %10s %10s\n",
+		"scale", "~nodes", "full-time(s)", "kde-time(s)", "full-mem", "kde-mem", "speedup", "mem-ratio")
+	for _, p := range points {
+		fmt.Fprintf(w, "%8.2f %8d %12.3f %12.3f %10s %10s %9.1fx %9.1fx\n",
+			p.Scale, p.Nodes, p.FullSeconds, p.KDESeconds,
+			FormatBytes(p.FullPeak), FormatBytes(p.KDEPeak),
+			p.TimeSpeedup, p.MemReduction)
+	}
+}

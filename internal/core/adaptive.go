@@ -1,0 +1,160 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"streamgnn/internal/sampling"
+)
+
+// NodeSampler abstracts GetSampleNode of Algorithm 1: plain chip sampling
+// (chipSampler) or graph-KDE sampling (KDESampler, Algorithm 2).
+type NodeSampler interface {
+	// SampleNode draws the next node to train.
+	SampleNode() int
+}
+
+// chipSampler draws directly from the chip distribution D.
+type chipSampler struct {
+	chips *sampling.Chips
+	rng   *rand.Rand
+}
+
+// SampleNode implements NodeSampler.
+func (s *chipSampler) SampleNode() int { return s.chips.Sample(s.rng) }
+
+// AdaptiveLearner is Algorithm 1 (OnlineAdaptiveLearning): it maintains the
+// chip distribution D, samples pairs of nodes per training step — favoring
+// the update set U with probability p_u — performs each node's training
+// partition, and moves chips between winner and loser according to the
+// randomized rule whose stationary distribution weights states by e^{u_s}
+// (Theorem IV.4).
+type AdaptiveLearner struct {
+	Chips   *sampling.Chips
+	Trainer *Trainer
+
+	cfg     Config
+	rng     *rand.Rand
+	sampler NodeSampler
+	anchors map[int]bool
+
+	// Moves counts accepted chip moves (observability/tests).
+	Moves int
+	// Trained counts executed training partitions.
+	Trained int
+}
+
+// NewAdaptiveLearner builds Algorithm 1 over the trainer's graph. strategy
+// selects plain chip sampling (Weighted) or graph-KDE sampling (KDE).
+func NewAdaptiveLearner(t *Trainer, cfg Config, strategy Strategy, rng *rand.Rand) *AdaptiveLearner {
+	chips := sampling.NewChips(t.G.N(), cfg.K)
+	chips.MinChips = cfg.MinChips
+	a := &AdaptiveLearner{Chips: chips, Trainer: t, cfg: cfg, rng: rng}
+	switch strategy {
+	case Weighted:
+		a.sampler = &chipSampler{chips: chips, rng: rng}
+	case KDE:
+		a.sampler = NewKDESampler(t.G, chips, cfg, rng)
+	default:
+		panic("core: AdaptiveLearner requires Weighted or KDE strategy")
+	}
+	return a
+}
+
+// Sampler exposes the underlying node sampler (tests, analysis).
+func (a *AdaptiveLearner) Sampler() NodeSampler { return a.sampler }
+
+// getSampleNode is Algorithm 1 lines 17-22: with probability p_u sample
+// from D restricted to the update set, otherwise from the sampler.
+func (a *AdaptiveLearner) getSampleNode(updated []int) int {
+	if len(updated) > 0 && a.rng.Float64() < a.cfg.PUpdate {
+		if v, ok := a.Chips.SampleFrom(a.rng, updated); ok {
+			return v
+		}
+	}
+	return a.sampler.SampleNode()
+}
+
+// refreshActivity aligns sampling eligibility with the current snapshot:
+// under a sliding window, nodes whose edges have all expired are not part
+// of G_t and are excluded from D until they reconnect. Query anchors stay
+// eligible regardless — the workload-aware half of the paper's selective
+// training: data relevant to the continuous queries is always worth
+// training, even when momentarily quiet.
+func (a *AdaptiveLearner) refreshActivity() {
+	g := a.Trainer.G
+	a.Chips.EnsureN(g.N())
+	if a.anchors == nil {
+		a.anchors = make(map[int]bool)
+		if w := a.Trainer.Workload; w != nil {
+			for _, q := range w.Queries() {
+				for _, v := range q.Anchors {
+					a.anchors[v] = true
+				}
+			}
+		}
+	}
+	anyActive := false
+	for v := 0; v < g.N(); v++ {
+		on := g.Degree(v) > 0 || a.anchors[v]
+		a.Chips.SetActive(v, on)
+		anyActive = anyActive || on
+	}
+	if !anyActive {
+		// Degenerate edgeless snapshot: fall back to sampling everywhere.
+		for v := 0; v < g.N(); v++ {
+			a.Chips.SetActive(v, true)
+		}
+	}
+}
+
+// Step runs one training step (Algorithm 1 lines 2-16): PairsPerStep pairs
+// are sampled and trained, and chips move between winner and loser.
+// updated is the set U of nodes with new data since the previous step.
+func (a *AdaptiveLearner) Step(updated []int) {
+	a.refreshActivity()
+	for pair := 0; pair < a.cfg.PairsPerStep; pair++ {
+		v1 := a.getSampleNode(updated)
+		v2 := a.getSampleNode(updated)
+		u1, ok1 := a.Trainer.TrainPartition(v1)
+		u2, ok2 := a.Trainer.TrainPartition(v2)
+		if ok1 {
+			a.Trained++
+		}
+		if ok2 {
+			a.Trained++
+		}
+		if !ok1 || !ok2 {
+			continue // no utility signal to compare
+		}
+		// Lines 8-10: winner has the higher utility; ties favor v2.
+		w, l := v2, v1
+		uw, ul := u2, u1
+		if u1 > u2 {
+			w, l = v1, v2
+			uw, ul = u1, u2
+		}
+		// Lines 11-16.
+		kn := float64(a.Chips.Total())
+		if a.rng.Float64() < 0.5 {
+			if a.Chips.Move(l, w) {
+				a.Moves++
+			}
+		} else if a.rng.Float64() < math.Exp(-(uw-ul)/kn) {
+			if a.Chips.Move(w, l) {
+				a.Moves++
+			}
+		}
+	}
+}
+
+// Probabilities returns the current normalized node-weight distribution D.
+func (a *AdaptiveLearner) Probabilities() []float64 {
+	counts := a.Chips.Counts()
+	out := make([]float64, len(counts))
+	total := float64(a.Chips.Total())
+	for i, c := range counts {
+		out[i] = float64(c) / total
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"streamgnn/internal/kde"
+)
+
+func TestChipChainStateEnumeration(t *testing.T) {
+	// n=3, k=2, min=1: compositions of 6 into 3 parts >= 1 -> C(5,2)=10.
+	c := NewChipChain([]float64{0, 0, 0}, 2, 1, true)
+	if len(c.States()) != 10 {
+		t.Fatalf("states = %d, want 10", len(c.States()))
+	}
+	for _, s := range c.States() {
+		sum := 0
+		for _, v := range s {
+			if v < 1 {
+				t.Fatalf("state %v violates chip floor", s)
+			}
+			sum += v
+		}
+		if sum != 6 {
+			t.Fatalf("state %v has wrong total", s)
+		}
+	}
+}
+
+func TestChipChainRowsAreStochastic(t *testing.T) {
+	for _, uniform := range []bool{true, false} {
+		c := NewChipChain([]float64{0.3, 1.1, 2.0}, 2, 1, uniform)
+		for i, row := range c.TransitionMatrix() {
+			var sum float64
+			for _, p := range row {
+				if p < -1e-15 {
+					t.Fatalf("negative transition prob in row %d", i)
+				}
+				sum += p
+			}
+			if math.Abs(sum-1) > 1e-12 {
+				t.Fatalf("row %d sums to %v (uniform=%v)", i, sum, uniform)
+			}
+		}
+	}
+}
+
+// Theorem IV.4 under the proof's transition accounting (uniform pair
+// selection): the stationary distribution is exactly e^{u_s}/Z.
+func TestTheoremIV4ExactUnderUniformPairs(t *testing.T) {
+	utilities := []float64{0.5, 2.0, 3.5}
+	c := NewChipChain(utilities, 2, 1, true)
+	got := c.Stationary(30000)
+	want := c.TheoreticalStationary()
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-6 {
+			t.Fatalf("state %v: stationary %v, want %v", c.States()[i], got[i], want[i])
+		}
+	}
+}
+
+// With Algorithm 1's chip-proportional sampling the law holds approximately:
+// high-utility states still dominate and the ordering of state probabilities
+// tracks e^{u_s}.
+func TestTheoremIV4ApproximateUnderChipSampling(t *testing.T) {
+	utilities := []float64{0.5, 2.0, 6.0}
+	c := NewChipChain(utilities, 2, 1, false)
+	got := c.Stationary(30000)
+	want := c.TheoreticalStationary()
+	if kde.TotalVariation(got, want) > 0.15 {
+		t.Fatalf("TV distance %v too large", kde.TotalVariation(got, want))
+	}
+	// The max-utility state (all movable chips at node 2) must be the most
+	// probable state.
+	best, bestP := -1, -1.0
+	for i, p := range got {
+		if p > bestP {
+			best, bestP = i, p
+		}
+	}
+	s := c.States()[best]
+	if s[2] != 4 || s[0] != 1 || s[1] != 1 {
+		t.Fatalf("most probable state %v is not the max-utility one", s)
+	}
+}
+
+// Theorem IV.3: the ratio of chip-move probabilities v1->v2 vs v2->v1 is
+// exp((u2-u1)/(kn)) — an exponential function of the influence-function
+// difference IF(v2) - IF(v1) = u2 - u1.
+func TestTheoremIV3MoveRatio(t *testing.T) {
+	utilities := []float64{1.0, 2.5}
+	c := NewChipChain(utilities, 3, 1, true) // n=2, k=3, total 6
+	P := c.TransitionMatrix()
+	// Find an interior state (3,3).
+	si := c.index[stateKey([]int{3, 3})]
+	up := c.index[stateKey([]int{2, 4})]   // chip 0 -> 1 (toward higher utility)
+	down := c.index[stateKey([]int{4, 2})] // chip 1 -> 0
+	ratio := P[si][up] / P[si][down]
+	want := math.Exp((utilities[1] - utilities[0]) / 6)
+	if math.Abs(ratio-want) > 1e-12 {
+		t.Fatalf("move ratio %v, want %v", ratio, want)
+	}
+}
+
+func TestExpectedUtility(t *testing.T) {
+	c := NewChipChain([]float64{1, 3}, 2, 1, true) // total 4 chips
+	got := c.ExpectedUtility([]int{1, 3})
+	want := 0.25*1 + 0.75*3
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ExpectedUtility = %v, want %v", got, want)
+	}
+}
+
+func TestChipChainRejectsTrivial(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewChipChain([]float64{1}, 2, 1, true)
+}

@@ -1,0 +1,315 @@
+package core
+
+import (
+	"math/rand"
+
+	"streamgnn/internal/autodiff"
+	"streamgnn/internal/dgnn"
+	"streamgnn/internal/graph"
+	"streamgnn/internal/query"
+	"streamgnn/internal/tensor"
+)
+
+// Trainer executes units of training work: either one node's partition
+// (Section III-C) or a full-graph pass (the Full/Uniform baseline). Each
+// unit combines the two training parts of Section III-B — self-supervised
+// targets from the graph's node/edge labels and supervised targets from the
+// analytics workload's revealed query results — and returns the *temporal
+// utility* of the unit: the training loss measured before backpropagation
+// (the sample-hardness utility of Section IV-A).
+type Trainer struct {
+	Model    dgnn.Model
+	Workload *query.Workload
+	Opt      autodiff.Optimizer
+	G        *graph.Dynamic
+
+	SelfWeight float64
+	SupWeight  float64
+	// ReplaySize is the minibatch of revealed (embedding, truth) pairs
+	// added to every partition's supervised loss. Replay trains only the
+	// prediction heads (the cached embeddings are constants), curing the
+	// catastrophic interference of single-target online head updates at a
+	// cost independent of graph size.
+	ReplaySize int
+	// BallSupervision widens supervised targets to the whole partition.
+	BallSupervision bool
+
+	rng *rand.Rand
+
+	// Stats counts training material consumed (observability).
+	Stats TrainerStats
+}
+
+// TrainerStats counts the training targets consumed so far.
+type TrainerStats struct {
+	SelfNodeTargets int
+	SelfEdgeTargets int
+	SupNodeTargets  int
+	SupPairTargets  int
+	ReplayTargets   int
+}
+
+// NewTrainer wires a trainer; opt must manage both model and head params.
+func NewTrainer(g *graph.Dynamic, m dgnn.Model, w *query.Workload, opt autodiff.Optimizer, cfg Config, rng *rand.Rand) *Trainer {
+	return &Trainer{
+		Model:           m,
+		Workload:        w,
+		Opt:             opt,
+		G:               g,
+		SelfWeight:      cfg.SelfWeight,
+		SupWeight:       cfg.SupWeight,
+		ReplaySize:      cfg.ReplaySize,
+		BallSupervision: cfg.BallSupervision,
+		rng:             rng,
+	}
+}
+
+// TrainPartition performs node v's training partition and returns its
+// temporal utility and whether any training material was available.
+func (t *Trainer) TrainPartition(v int) (utility float64, trained bool) {
+	sub := t.G.Partition(v, t.Model.Layers())
+	view := dgnn.SubView(sub)
+	view.NoCommit = true // recurrent state advances only at inference time
+	tp := autodiff.NewTape()
+	emb := t.Model.Forward(tp, view)
+	loss := t.buildLoss(tp, emb, t.partitionMaterial(v, sub))
+	if loss == nil {
+		return 0, false
+	}
+	utility = loss.Value.Data[0]
+	tp.Backward(loss)
+	t.Opt.Step()
+	return utility, true
+}
+
+// TrainFull performs one full-graph training pass (the baseline) and
+// returns its loss before backpropagation.
+func (t *Trainer) TrainFull() (loss float64, trained bool) {
+	view := dgnn.FullView(t.G)
+	view.NoCommit = true
+	tp := autodiff.NewTape()
+	emb := t.Model.Forward(tp, view)
+	l := t.buildLoss(tp, emb, fullMaterial(t.G, t.Workload))
+	if l == nil {
+		return 0, false
+	}
+	loss = l.Value.Data[0]
+	tp.Backward(l)
+	t.Opt.Step()
+	return loss, true
+}
+
+// EvalPartition measures node v's partition loss without updating anything
+// (used by what-if analyses and tests).
+func (t *Trainer) EvalPartition(v int) (utility float64, ok bool) {
+	sub := t.G.Partition(v, t.Model.Layers())
+	view := dgnn.SubView(sub)
+	view.NoCommit = true
+	tp := autodiff.NewTape()
+	emb := t.Model.Forward(tp, view)
+	loss := t.buildLoss(tp, emb, t.partitionMaterial(v, sub))
+	if loss == nil {
+		return 0, false
+	}
+	return loss.Value.Data[0], true
+}
+
+// material is the training signal available in one unit of work.
+type material struct {
+	selfNodeRows    []int
+	selfNodeTargets []float64
+	selfEdgeSrc     []int
+	selfEdgeDst     []int
+	selfEdgeTargets []float64
+	sup             query.Supervision
+	replay          bool
+	// linkNegRows are detached embedding rows of global negative-sample
+	// nodes, paired with the partition center for link self-supervision.
+	linkNegRows [][]float64
+	center      int
+}
+
+// partitionMaterial gathers node v's training targets per Section III-C:
+// self-supervision from v itself and its incident labeled edges (the
+// partition's own share of the self-supervised work), and supervised query
+// targets from every anchor inside G_v (the queries whose relevant data
+// overlaps the partition).
+func (t *Trainer) partitionMaterial(v int, sub *graph.Subgraph) material {
+	m := material{replay: true, center: sub.Center}
+	center := sub.Center
+	if y, ok := t.G.Label(v); ok {
+		m.selfNodeRows = append(m.selfNodeRows, center)
+		m.selfNodeTargets = append(m.selfNodeTargets, y)
+	}
+	src, dst, labels := sub.LabeledEdges()
+	for i := range src {
+		if src[i] == center || dst[i] == center {
+			m.selfEdgeSrc = append(m.selfEdgeSrc, src[i])
+			m.selfEdgeDst = append(m.selfEdgeDst, dst[i])
+			m.selfEdgeTargets = append(m.selfEdgeTargets, labels[i])
+		}
+	}
+	if t.Workload != nil {
+		sup := t.Workload.Supervision(sub)
+		if t.BallSupervision {
+			m.sup = sup
+		} else {
+			// Keep only targets whose embeddings the truncated subgraph
+			// computes exactly: node targets at the center (whose L-hop
+			// receptive field the partition contains in full) and pair
+			// targets incident to it. Targets anchored deeper in the ball
+			// are computed from truncated neighborhoods.
+			for i, row := range sup.NodeRows {
+				if row == center {
+					m.sup.NodeRows = append(m.sup.NodeRows, row)
+					m.sup.NodeTargets = append(m.sup.NodeTargets, sup.NodeTargets[i])
+				}
+			}
+			for i := range sup.PairSrc {
+				if sup.PairSrc[i] == center || sup.PairDst[i] == center {
+					m.sup.PairSrc = append(m.sup.PairSrc, sup.PairSrc[i])
+					m.sup.PairDst = append(m.sup.PairDst, sup.PairDst[i])
+					m.sup.PairLabels = append(m.sup.PairLabels, sup.PairLabels[i])
+				}
+			}
+		}
+	}
+	if lt := linkTaskOf(t.Workload); lt != nil && t.rng != nil && sub.N() > 2 {
+		// Structural self-supervision for link workloads (Section III-B:
+		// "predicting chosen nodes/links in the network"): the center's
+		// current edges are positives. Negatives pair the center with
+		// *global* random nodes (their embeddings taken, detached, from the
+		// last inference): partitions are community-local, so in-partition
+		// negatives would cancel the community signal that link ranking
+		// needs.
+		nbrs := map[int]bool{center: true}
+		count := 0
+		for _, e := range t.G.OutEdges(v) {
+			if li := sub.LocalID(e.To); li >= 0 && !nbrs[li] {
+				nbrs[li] = true
+				m.sup.PairSrc = append(m.sup.PairSrc, center)
+				m.sup.PairDst = append(m.sup.PairDst, li)
+				m.sup.PairLabels = append(m.sup.PairLabels, 1)
+				count++
+				if count >= 8 {
+					break
+				}
+			}
+		}
+		if n := lt.NumEmbedded(); n > 1 && count > 0 {
+			for k := 0; k < 2*count; k++ {
+				nv := t.rng.Intn(n)
+				if nv == v {
+					continue
+				}
+				if row, ok := lt.EmbeddingRow(nv); ok {
+					m.linkNegRows = append(m.linkNegRows, row)
+				}
+			}
+		}
+	}
+	return m
+}
+
+func fullMaterial(g *graph.Dynamic, w *query.Workload) material {
+	m := material{center: -1}
+	for v := 0; v < g.N(); v++ {
+		if y, ok := g.Label(v); ok {
+			m.selfNodeRows = append(m.selfNodeRows, v)
+			m.selfNodeTargets = append(m.selfNodeTargets, y)
+		}
+		for _, e := range g.OutEdges(v) {
+			if e.HasLabel() {
+				m.selfEdgeSrc = append(m.selfEdgeSrc, v)
+				m.selfEdgeDst = append(m.selfEdgeDst, e.To)
+				m.selfEdgeTargets = append(m.selfEdgeTargets, e.Label)
+			}
+		}
+	}
+	if w != nil {
+		m.sup = w.SupervisionFull(g.N())
+	}
+	return m
+}
+
+// buildLoss assembles the weighted training loss over emb for the given
+// material; it returns nil when no targets are available.
+func (t *Trainer) buildLoss(tp *autodiff.Tape, emb *autodiff.Node, m material) *autodiff.Node {
+	heads := t.Workload.Heads()
+	var total *autodiff.Node
+	add := func(term *autodiff.Node, weight float64) {
+		if weight != 1 {
+			term = tp.Scale(term, weight)
+		}
+		if total == nil {
+			total = term
+		} else {
+			total = tp.Add(total, term)
+		}
+	}
+	if len(m.selfNodeRows) > 0 {
+		pred := heads.SelfNode.Apply(tp, tp.GatherRows(emb, m.selfNodeRows))
+		add(tp.MSE(pred, colVec(m.selfNodeTargets)), t.SelfWeight)
+		t.Stats.SelfNodeTargets += len(m.selfNodeRows)
+	}
+	if len(m.selfEdgeSrc) > 0 {
+		pred := heads.SelfEdge.Apply(tp, query.PairInput(tp, emb, m.selfEdgeSrc, m.selfEdgeDst))
+		add(tp.MSE(pred, colVec(m.selfEdgeTargets)), t.SelfWeight)
+		t.Stats.SelfEdgeTargets += len(m.selfEdgeSrc)
+	}
+	if len(m.sup.NodeRows) > 0 {
+		pred := heads.Event.Apply(tp, tp.GatherRows(emb, m.sup.NodeRows))
+		add(tp.MSE(pred, colVec(m.sup.NodeTargets)), t.SupWeight)
+		t.Stats.SupNodeTargets += len(m.sup.NodeRows)
+	}
+	if len(m.sup.PairSrc) > 0 {
+		logits := heads.Link.Apply(tp, query.PairInput(tp, emb, m.sup.PairSrc, m.sup.PairDst))
+		add(tp.BCEWithLogits(logits, colVec(m.sup.PairLabels)), t.SupWeight)
+		t.Stats.SupPairTargets += len(m.sup.PairSrc)
+	}
+	if len(m.linkNegRows) > 0 && m.center >= 0 {
+		k := len(m.linkNegRows)
+		idx := make([]int, k)
+		for i := range idx {
+			idx[i] = m.center
+		}
+		centerRep := tp.GatherRows(emb, idx)
+		negs := tensor.New(k, len(m.linkNegRows[0]))
+		for i, row := range m.linkNegRows {
+			copy(negs.Row(i), row)
+		}
+		nc := autodiff.Constant(negs)
+		in := tp.ConcatCols(tp.ConcatCols(centerRep, nc), tp.Mul(centerRep, nc))
+		logits := heads.Link.Apply(tp, in)
+		add(tp.BCEWithLogits(logits, tensor.New(k, 1)), t.SelfWeight)
+		t.Stats.SelfEdgeTargets += k
+	}
+	if m.replay && t.Workload != nil && t.ReplaySize > 0 && t.rng != nil {
+		if re, truths := t.Workload.ReplayBatch(t.rng, t.ReplaySize); re != nil {
+			pred := heads.Event.Apply(tp, autodiff.Constant(re))
+			add(tp.MSE(pred, colVec(truths)), t.SupWeight)
+			t.Stats.ReplayTargets += len(truths)
+		}
+		if lt := t.Workload.LinkTask(); lt != nil {
+			if re, labels := lt.ReplayBatch(t.rng, t.ReplaySize); re != nil {
+				logits := heads.Link.Apply(tp, autodiff.Constant(re))
+				add(tp.BCEWithLogits(logits, colVec(labels)), t.SupWeight)
+				t.Stats.ReplayTargets += len(labels)
+			}
+		}
+	}
+	return total
+}
+
+func linkTaskOf(w *query.Workload) *query.LinkPredTask {
+	if w == nil {
+		return nil
+	}
+	return w.LinkTask()
+}
+
+func colVec(vals []float64) *tensor.Matrix {
+	m := tensor.New(len(vals), 1)
+	copy(m.Data, vals)
+	return m
+}

@@ -1,0 +1,66 @@
+package dgnn
+
+import (
+	"math/rand"
+
+	"streamgnn/internal/autodiff"
+	"streamgnn/internal/nn"
+)
+
+// DCRNNModel is DCRNN (Li et al.): a GRU whose gate transforms are K-step
+// bidirectional diffusion convolutions over the forward and reverse
+// random-walk transition matrices. K == 2, so Layers() == 2.
+type DCRNNModel struct {
+	cell   *nn.ConvGRUCell
+	hidden int
+	k      int
+	state  *nodeState
+}
+
+// NewDCRNN returns a DCRNN with diffusion order 2.
+func NewDCRNN(rng *rand.Rand, featDim, hidden int) *DCRNNModel {
+	const k = 2
+	return &DCRNNModel{
+		cell: nn.NewConvGRUCell(hidden, func() nn.Module {
+			return nn.NewDiffusionConv(rng, featDim+hidden, hidden, k)
+		}),
+		hidden: hidden,
+		k:      k,
+		state:  newNodeState(hidden),
+	}
+}
+
+// Name implements Model.
+func (m *DCRNNModel) Name() string { return "DCRNN" }
+
+// Layers implements Model.
+func (m *DCRNNModel) Layers() int { return m.k }
+
+// Hidden implements Model.
+func (m *DCRNNModel) Hidden() int { return m.hidden }
+
+// Params implements Model.
+func (m *DCRNNModel) Params() []*autodiff.Node { return m.cell.Params() }
+
+// BeginStep implements Model: snapshots recurrent state for the step's
+// training forwards.
+func (m *DCRNNModel) BeginStep(t int) { m.state.snapshot() }
+
+// Reset implements Model.
+func (m *DCRNNModel) Reset() { m.state.reset() }
+
+// WrapOptimizer implements Model.
+func (m *DCRNNModel) WrapOptimizer(opt autodiff.Optimizer) autodiff.Optimizer { return opt }
+
+// Forward implements Model.
+func (m *DCRNNModel) Forward(tp *autodiff.Tape, v View) *autodiff.Node {
+	h := autodiff.Constant(m.state.gather(v))
+	conv := func(mod nn.Module, in *autodiff.Node) *autodiff.Node {
+		return mod.(*nn.DiffusionConv).Apply(tp, v.RWFwd, v.RWRev, in)
+	}
+	hNew := m.cell.Apply(tp, conv, autodiff.Constant(v.Feat), h)
+	if !v.NoCommit {
+		m.state.write(v, hNew.Value)
+	}
+	return hNew
+}

@@ -1,0 +1,77 @@
+package dgnn
+
+import (
+	"math/rand"
+
+	"streamgnn/internal/autodiff"
+	"streamgnn/internal/nn"
+)
+
+// DyGrEncoderModel is DyGrEncoder (Taheri & Berger-Wolf): a two-layer GCN
+// encoder producing per-snapshot node embeddings, an LSTM carrying each
+// node's embedding sequence through time, and a linear decoder.
+type DyGrEncoderModel struct {
+	enc1, enc2 *nn.GCNConv
+	lstm       *nn.LSTMCell
+	dec        *nn.Linear
+	hidden     int
+	hState     *nodeState
+	cState     *nodeState
+}
+
+// NewDyGrEncoder returns a DyGrEncoder with the given dimensions.
+func NewDyGrEncoder(rng *rand.Rand, featDim, hidden int) *DyGrEncoderModel {
+	return &DyGrEncoderModel{
+		enc1:   nn.NewGCNConv(rng, featDim, hidden),
+		enc2:   nn.NewGCNConv(rng, hidden, hidden),
+		lstm:   nn.NewLSTMCell(rng, hidden, hidden),
+		dec:    nn.NewLinear(rng, hidden, hidden),
+		hidden: hidden,
+		hState: newNodeState(hidden),
+		cState: newNodeState(hidden),
+	}
+}
+
+// Name implements Model.
+func (m *DyGrEncoderModel) Name() string { return "DyGrEncoder" }
+
+// Layers implements Model.
+func (m *DyGrEncoderModel) Layers() int { return 2 }
+
+// Hidden implements Model.
+func (m *DyGrEncoderModel) Hidden() int { return m.hidden }
+
+// Params implements Model.
+func (m *DyGrEncoderModel) Params() []*autodiff.Node {
+	return nn.CollectParams(m.enc1, m.enc2, m.lstm, m.dec)
+}
+
+// BeginStep implements Model: snapshots recurrent state for the step's
+// training forwards.
+func (m *DyGrEncoderModel) BeginStep(t int) {
+	m.hState.snapshot()
+	m.cState.snapshot()
+}
+
+// Reset implements Model.
+func (m *DyGrEncoderModel) Reset() {
+	m.hState.reset()
+	m.cState.reset()
+}
+
+// WrapOptimizer implements Model.
+func (m *DyGrEncoderModel) WrapOptimizer(opt autodiff.Optimizer) autodiff.Optimizer { return opt }
+
+// Forward implements Model.
+func (m *DyGrEncoderModel) Forward(tp *autodiff.Tape, v View) *autodiff.Node {
+	x := tp.ReLU(m.enc1.Apply(tp, v.Norm, autodiff.Constant(v.Feat)))
+	x = tp.ReLU(m.enc2.Apply(tp, v.Norm, x))
+	h := autodiff.Constant(m.hState.gather(v))
+	c := autodiff.Constant(m.cState.gather(v))
+	hNew, cNew := m.lstm.Apply(tp, x, h, c)
+	if !v.NoCommit {
+		m.hState.write(v, hNew.Value)
+		m.cState.write(v, cNew.Value)
+	}
+	return tp.Tanh(m.dec.Apply(tp, hNew))
+}

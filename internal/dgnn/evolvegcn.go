@@ -1,0 +1,111 @@
+package dgnn
+
+import (
+	"math/rand"
+
+	"streamgnn/internal/autodiff"
+	"streamgnn/internal/nn"
+	"streamgnn/internal/tensor"
+)
+
+// EvolveGCNModel is EvolveGCN (Pareja et al., "-O" variant): a two-layer GCN
+// whose layer weight matrices are not trained directly but *evolved* through
+// time by a GRU that treats the weight matrix as its recurrent state. The
+// GRU's own parameters are trained by gradients flowing through the evolved
+// weights. Evolution happens once per stream step: every Forward within a
+// step recomputes the same on-tape evolution from the step's starting
+// weights, and the first Forward of a step captures the evolved value as the
+// next step's starting point.
+type EvolveGCNModel struct {
+	layers   []*evolveLayer
+	hidden   int
+	curStep  int
+	haveStep bool
+}
+
+type evolveLayer struct {
+	gru    *nn.GRUCell
+	bias   *autodiff.Node
+	wStart *tensor.Matrix // W_{t-1}: weights the current step evolves from
+	wNext  *tensor.Matrix // W_t captured at the step's first forward
+}
+
+// NewEvolveGCN returns an EvolveGCN-O with two layers.
+func NewEvolveGCN(rng *rand.Rand, featDim, hidden int) *EvolveGCNModel {
+	mk := func(in int) *evolveLayer {
+		return &evolveLayer{
+			gru:    nn.NewGRUCell(rng, hidden, hidden),
+			bias:   autodiff.Param(tensor.New(1, hidden)),
+			wStart: tensor.Glorot(rng, in, hidden),
+		}
+	}
+	return &EvolveGCNModel{
+		layers: []*evolveLayer{mk(featDim), mk(hidden)},
+		hidden: hidden,
+	}
+}
+
+// Name implements Model.
+func (m *EvolveGCNModel) Name() string { return "EvolveGCN" }
+
+// Layers implements Model.
+func (m *EvolveGCNModel) Layers() int { return len(m.layers) }
+
+// Hidden implements Model.
+func (m *EvolveGCNModel) Hidden() int { return m.hidden }
+
+// Params implements Model.
+func (m *EvolveGCNModel) Params() []*autodiff.Node {
+	var out []*autodiff.Node
+	for _, l := range m.layers {
+		out = append(out, l.gru.Params()...)
+		out = append(out, l.bias)
+	}
+	return out
+}
+
+// BeginStep implements Model: promotes the captured evolved weights to the
+// new step's starting weights.
+func (m *EvolveGCNModel) BeginStep(t int) {
+	if m.haveStep && t == m.curStep {
+		return
+	}
+	m.curStep = t
+	m.haveStep = true
+	for _, l := range m.layers {
+		if l.wNext != nil {
+			l.wStart = l.wNext
+			l.wNext = nil
+		}
+	}
+}
+
+// Reset implements Model: forgets captured evolutions (starting weights are
+// kept, as they are the model's only weights).
+func (m *EvolveGCNModel) Reset() {
+	for _, l := range m.layers {
+		l.wNext = nil
+	}
+}
+
+// WrapOptimizer implements Model.
+func (m *EvolveGCNModel) WrapOptimizer(opt autodiff.Optimizer) autodiff.Optimizer { return opt }
+
+// Forward implements Model.
+func (m *EvolveGCNModel) Forward(tp *autodiff.Tape, v View) *autodiff.Node {
+	h := autodiff.Constant(v.Feat)
+	for i, l := range m.layers {
+		w0 := autodiff.Constant(l.wStart)
+		wt := l.gru.Apply(tp, w0, w0) // evolve: rows of W are the GRU batch
+		if l.wNext == nil && !v.NoCommit {
+			l.wNext = wt.Value.Clone()
+		}
+		h = tp.AddBias(tp.SpMM(v.Norm, tp.MatMul(h, wt)), l.bias)
+		if i+1 < len(m.layers) {
+			h = tp.ReLU(h)
+		} else {
+			h = tp.Tanh(h)
+		}
+	}
+	return h
+}

@@ -1,0 +1,75 @@
+package dgnn
+
+import (
+	"math/rand"
+
+	"streamgnn/internal/autodiff"
+	"streamgnn/internal/nn"
+)
+
+// GCLSTMModel is GC-LSTM (Chen et al.): an LSTM whose gate transforms are
+// graph convolutions, preceded by a GCN encoder layer (Layers() == 2).
+type GCLSTMModel struct {
+	enc    *nn.GCNConv
+	cell   *nn.ConvLSTMCell
+	hidden int
+	hState *nodeState
+	cState *nodeState
+}
+
+// NewGCLSTM returns a GC-LSTM with the given dimensions.
+func NewGCLSTM(rng *rand.Rand, featDim, hidden int) *GCLSTMModel {
+	return &GCLSTMModel{
+		enc: nn.NewGCNConv(rng, featDim, hidden),
+		cell: nn.NewConvLSTMCell(hidden, func() nn.Module {
+			return nn.NewGCNConv(rng, hidden+hidden, hidden)
+		}),
+		hidden: hidden,
+		hState: newNodeState(hidden),
+		cState: newNodeState(hidden),
+	}
+}
+
+// Name implements Model.
+func (m *GCLSTMModel) Name() string { return "GCLSTM" }
+
+// Layers implements Model.
+func (m *GCLSTMModel) Layers() int { return 2 }
+
+// Hidden implements Model.
+func (m *GCLSTMModel) Hidden() int { return m.hidden }
+
+// Params implements Model.
+func (m *GCLSTMModel) Params() []*autodiff.Node { return nn.CollectParams(m.enc, m.cell) }
+
+// BeginStep implements Model: snapshots recurrent state for the step's
+// training forwards.
+func (m *GCLSTMModel) BeginStep(t int) {
+	m.hState.snapshot()
+	m.cState.snapshot()
+}
+
+// Reset implements Model.
+func (m *GCLSTMModel) Reset() {
+	m.hState.reset()
+	m.cState.reset()
+}
+
+// WrapOptimizer implements Model.
+func (m *GCLSTMModel) WrapOptimizer(opt autodiff.Optimizer) autodiff.Optimizer { return opt }
+
+// Forward implements Model.
+func (m *GCLSTMModel) Forward(tp *autodiff.Tape, v View) *autodiff.Node {
+	x := tp.ReLU(m.enc.Apply(tp, v.Norm, autodiff.Constant(v.Feat)))
+	h := autodiff.Constant(m.hState.gather(v))
+	c := autodiff.Constant(m.cState.gather(v))
+	conv := func(mod nn.Module, in *autodiff.Node) *autodiff.Node {
+		return mod.(*nn.GCNConv).Apply(tp, v.Norm, in)
+	}
+	hNew, cNew := m.cell.Apply(tp, conv, x, h, c)
+	if !v.NoCommit {
+		m.hState.write(v, hNew.Value)
+		m.cState.write(v, cNew.Value)
+	}
+	return hNew
+}

@@ -1,0 +1,185 @@
+// Package dgnn implements the seven dynamic graph neural network baselines
+// of the paper's evaluation — TGCN, DCRNN, GCLSTM, DyGrEncoder, ROLAND,
+// WinGNN, and EvolveGCN — behind a single Model interface that supports both
+// full-graph forwards and forwards over induced subgraphs (the node-level
+// training partitions of Section III-C).
+//
+// All models are discrete-time: they consume one snapshot view per call and
+// carry per-node recurrent state forward with truncated backpropagation
+// (window 1), which is the natural regime for online continuous training.
+package dgnn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"streamgnn/internal/autodiff"
+	"streamgnn/internal/graph"
+	"streamgnn/internal/tensor"
+)
+
+// View is a model-facing snapshot of either the full graph or an induced
+// subgraph. IDs maps view rows to global node ids; nil means row i is node i.
+type View struct {
+	N     int
+	Feat  *tensor.Matrix
+	Norm  *tensor.CSR
+	RWFwd *tensor.CSR
+	RWRev *tensor.CSR
+	IDs   []int
+	// NoCommit, when set, prevents the forward pass from writing updated
+	// recurrent state back (useful for what-if evaluation).
+	NoCommit bool
+	// TypedFn lazily builds per-relation normalized adjacencies for
+	// relation-aware models (RTGCN); nil for views that cannot provide it.
+	TypedFn func(ntypes int) []*tensor.CSR
+}
+
+// FullView builds the view of a full snapshot.
+func FullView(g *graph.Dynamic) View {
+	return View{
+		N:       g.N(),
+		Feat:    g.Features(),
+		Norm:    g.NormAdj(),
+		RWFwd:   g.RWAdj(false),
+		RWRev:   g.RWAdj(true),
+		TypedFn: g.TypedAdj,
+	}
+}
+
+// SubView builds the view of an induced subgraph.
+func SubView(s *graph.Subgraph) View {
+	return View{
+		N:       s.N(),
+		Feat:    s.Features(),
+		Norm:    s.NormAdj(),
+		RWFwd:   s.RWAdj(false),
+		RWRev:   s.RWAdj(true),
+		IDs:     s.Nodes,
+		TypedFn: s.TypedAdj,
+	}
+}
+
+// globalID returns the global node id of view row i.
+func (v View) globalID(i int) int {
+	if v.IDs == nil {
+		return i
+	}
+	return v.IDs[i]
+}
+
+// Model is a pluggable dynamic graph neural network.
+type Model interface {
+	// Name returns the model's published name.
+	Name() string
+	// Layers returns the GNN depth L; node partitions use L-hop balls.
+	Layers() int
+	// Hidden returns the embedding dimension.
+	Hidden() int
+	// Params returns all trainable parameters.
+	Params() []*autodiff.Node
+	// BeginStep announces that the stream advanced to step t. Models with
+	// per-step weight dynamics (EvolveGCN) hook this.
+	BeginStep(t int)
+	// Forward computes gradient-tracked embeddings (view.N × Hidden) and,
+	// unless view.NoCommit, writes updated recurrent state for the view's
+	// nodes (detached).
+	Forward(tp *autodiff.Tape, v View) *autodiff.Node
+	// Reset clears all recurrent state (training restart).
+	Reset()
+	// WrapOptimizer lets the model interpose on parameter updates
+	// (WinGNN's random gradient-aggregation window); most models return
+	// opt unchanged.
+	WrapOptimizer(opt autodiff.Optimizer) autodiff.Optimizer
+	// DumpState returns the model's recurrent state for checkpointing.
+	DumpState() []StateDump
+	// RestoreState replaces the recurrent state from a checkpoint.
+	RestoreState([]StateDump) error
+}
+
+// Kind enumerates the implemented baselines.
+type Kind int
+
+// The seven baselines of the paper's Section VI-C.
+const (
+	TGCN Kind = iota
+	DCRNN
+	GCLSTM
+	DyGrEncoder
+	ROLAND
+	WinGNN
+	EvolveGCN
+	// RTGCN is this repository's relation-aware extension beyond the
+	// paper's seven baselines: TGCN with RGCN-style per-relation weights,
+	// for the heterogeneous streams of the paper's Example 1.
+	RTGCN
+)
+
+// String returns the published model name.
+func (k Kind) String() string {
+	switch k {
+	case TGCN:
+		return "TGCN"
+	case DCRNN:
+		return "DCRNN"
+	case GCLSTM:
+		return "GCLSTM"
+	case DyGrEncoder:
+		return "DyGrEncoder"
+	case ROLAND:
+		return "ROLAND"
+	case WinGNN:
+		return "WinGNN"
+	case EvolveGCN:
+		return "EvolveGCN"
+	case RTGCN:
+		return "RTGCN"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind resolves a model name (case-sensitive published spelling).
+func ParseKind(name string) (Kind, error) {
+	for k := TGCN; k <= RTGCN; k++ {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("dgnn: unknown model %q", name)
+}
+
+// Kinds returns all implemented models: the paper's seven baselines plus
+// the RTGCN extension.
+func Kinds() []Kind {
+	return []Kind{TGCN, DCRNN, GCLSTM, DyGrEncoder, ROLAND, WinGNN, EvolveGCN, RTGCN}
+}
+
+// BaselineKinds returns only the paper's seven baselines.
+func BaselineKinds() []Kind {
+	return Kinds()[:7]
+}
+
+// New constructs a baseline of the given kind.
+func New(kind Kind, rng *rand.Rand, featDim, hidden int) Model {
+	switch kind {
+	case TGCN:
+		return NewTGCN(rng, featDim, hidden)
+	case DCRNN:
+		return NewDCRNN(rng, featDim, hidden)
+	case GCLSTM:
+		return NewGCLSTM(rng, featDim, hidden)
+	case DyGrEncoder:
+		return NewDyGrEncoder(rng, featDim, hidden)
+	case ROLAND:
+		return NewROLAND(rng, featDim, hidden)
+	case WinGNN:
+		return NewWinGNN(rng, featDim, hidden)
+	case EvolveGCN:
+		return NewEvolveGCN(rng, featDim, hidden)
+	case RTGCN:
+		return NewRTGCN(rng, featDim, hidden, DefaultRelations)
+	default:
+		panic(fmt.Sprintf("dgnn: unknown kind %d", kind))
+	}
+}

@@ -1,0 +1,81 @@
+package dgnn
+
+import (
+	"math/rand"
+
+	"streamgnn/internal/autodiff"
+	"streamgnn/internal/nn"
+)
+
+// ROLANDModel is ROLAND (You et al.): a layerwise hidden-state GNN. Each GNN
+// layer keeps a per-node hidden state that is updated from the layer's fresh
+// convolution output with a GRU-style embedding-update module, trained in
+// the live-update regime (truncated BPTT, window 1).
+type ROLANDModel struct {
+	conv1, conv2 *nn.GCNConv
+	upd1, upd2   *nn.GRUCell
+	hidden       int
+	h1, h2       *nodeState
+}
+
+// NewROLAND returns a two-layer ROLAND with GRU embedding updates.
+func NewROLAND(rng *rand.Rand, featDim, hidden int) *ROLANDModel {
+	return &ROLANDModel{
+		conv1:  nn.NewGCNConv(rng, featDim, hidden),
+		conv2:  nn.NewGCNConv(rng, hidden, hidden),
+		upd1:   nn.NewGRUCell(rng, hidden, hidden),
+		upd2:   nn.NewGRUCell(rng, hidden, hidden),
+		hidden: hidden,
+		h1:     newNodeState(hidden),
+		h2:     newNodeState(hidden),
+	}
+}
+
+// Name implements Model.
+func (m *ROLANDModel) Name() string { return "ROLAND" }
+
+// Layers implements Model.
+func (m *ROLANDModel) Layers() int { return 2 }
+
+// Hidden implements Model.
+func (m *ROLANDModel) Hidden() int { return m.hidden }
+
+// Params implements Model.
+func (m *ROLANDModel) Params() []*autodiff.Node {
+	return nn.CollectParams(m.conv1, m.conv2, m.upd1, m.upd2)
+}
+
+// BeginStep implements Model: snapshots layer states for the step's
+// training forwards.
+func (m *ROLANDModel) BeginStep(t int) {
+	m.h1.snapshot()
+	m.h2.snapshot()
+}
+
+// Reset implements Model.
+func (m *ROLANDModel) Reset() {
+	m.h1.reset()
+	m.h2.reset()
+}
+
+// WrapOptimizer implements Model.
+func (m *ROLANDModel) WrapOptimizer(opt autodiff.Optimizer) autodiff.Optimizer { return opt }
+
+// Forward implements Model.
+func (m *ROLANDModel) Forward(tp *autodiff.Tape, v View) *autodiff.Node {
+	// Layer 1: conv on raw features, then hidden-state update.
+	c1 := tp.ReLU(m.conv1.Apply(tp, v.Norm, autodiff.Constant(v.Feat)))
+	prev1 := autodiff.Constant(m.h1.gather(v))
+	new1 := m.upd1.Apply(tp, c1, prev1)
+
+	// Layer 2: conv on layer-1 state, then hidden-state update.
+	c2 := tp.ReLU(m.conv2.Apply(tp, v.Norm, new1))
+	prev2 := autodiff.Constant(m.h2.gather(v))
+	new2 := m.upd2.Apply(tp, c2, prev2)
+
+	if !v.NoCommit {
+		m.h1.write(v, new1.Value)
+		m.h2.write(v, new2.Value)
+	}
+	return new2
+}

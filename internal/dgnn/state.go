@@ -1,0 +1,101 @@
+package dgnn
+
+import (
+	"streamgnn/internal/tensor"
+)
+
+// nodeState stores per-node recurrent state (hidden/cell vectors) indexed by
+// global node id, growing as the stream adds nodes. State written back after
+// a forward pass is detached: gradients never flow across time steps
+// (truncated BPTT window 1), keeping online memory bounded.
+// Committed (inference) forwards read and write the live state. NoCommit
+// (training) forwards read the snapshot taken at BeginStep — the state as it
+// was *before* this step's inference — so a training partition replays
+// exactly the computation whose output the prediction heads are evaluated
+// on, rather than advancing the recurrence a second time within the step.
+type nodeState struct {
+	dim  int
+	data []float64 // n × dim, live
+	prev []float64 // snapshot taken at BeginStep; nil before the first one
+	n    int
+}
+
+func newNodeState(dim int) *nodeState { return &nodeState{dim: dim} }
+
+// snapshot archives the live state for this step's NoCommit forwards.
+func (s *nodeState) snapshot() {
+	if cap(s.prev) < len(s.data) {
+		s.prev = make([]float64, len(s.data))
+	}
+	s.prev = s.prev[:len(s.data)]
+	copy(s.prev, s.data)
+}
+
+func (s *nodeState) ensure(n int) {
+	if n <= s.n {
+		return
+	}
+	need := n * s.dim
+	if need > cap(s.data) {
+		grown := make([]float64, need, 2*need)
+		copy(grown, s.data)
+		s.data = grown
+	} else {
+		s.data = s.data[:need]
+	}
+	s.n = n
+}
+
+func (s *nodeState) maxID(v View) int {
+	if v.IDs == nil {
+		return v.N - 1
+	}
+	m := -1
+	for _, id := range v.IDs {
+		if id > m {
+			m = id
+		}
+	}
+	return m
+}
+
+// gather returns the state rows for the view's nodes (a copy). NoCommit
+// views read the BeginStep snapshot when one exists.
+func (s *nodeState) gather(v View) *tensor.Matrix {
+	s.ensure(s.maxID(v) + 1)
+	src := s.data
+	if v.NoCommit && s.prev != nil {
+		src = s.prev
+	}
+	out := tensor.New(v.N, s.dim)
+	for i := 0; i < v.N; i++ {
+		id := v.globalID(i)
+		off := id * s.dim
+		if off+s.dim <= len(src) {
+			copy(out.Row(i), src[off:off+s.dim])
+		} else {
+			copy(out.Row(i), s.data[off:off+s.dim])
+		}
+	}
+	return out
+}
+
+// write stores m's rows back into the view's nodes.
+func (s *nodeState) write(v View, m *tensor.Matrix) {
+	if m.Rows != v.N || m.Cols != s.dim {
+		panic("dgnn: state write shape mismatch")
+	}
+	s.ensure(s.maxID(v) + 1)
+	for i := 0; i < v.N; i++ {
+		id := v.globalID(i)
+		copy(s.data[id*s.dim:(id+1)*s.dim], m.Row(i))
+	}
+}
+
+// reset zeroes all stored state and drops the snapshot.
+func (s *nodeState) reset() {
+	for i := range s.data {
+		s.data[i] = 0
+	}
+	s.prev = nil
+}

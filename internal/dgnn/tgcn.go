@@ -1,0 +1,66 @@
+package dgnn
+
+import (
+	"math/rand"
+
+	"streamgnn/internal/autodiff"
+	"streamgnn/internal/nn"
+)
+
+// TGCNModel is TGCN (Zhao et al.): a GRU whose gate transforms are GCN
+// convolutions. We use one GCN encoder layer followed by a graph-gated GRU,
+// giving a 2-hop receptive field per step (Layers() == 2).
+type TGCNModel struct {
+	enc    *nn.GCNConv
+	cell   *nn.ConvGRUCell
+	hidden int
+	state  *nodeState
+}
+
+// NewTGCN returns a TGCN with the given feature and hidden dimensions.
+func NewTGCN(rng *rand.Rand, featDim, hidden int) *TGCNModel {
+	return &TGCNModel{
+		enc: nn.NewGCNConv(rng, featDim, hidden),
+		cell: nn.NewConvGRUCell(hidden, func() nn.Module {
+			return nn.NewGCNConv(rng, hidden+hidden, hidden)
+		}),
+		hidden: hidden,
+		state:  newNodeState(hidden),
+	}
+}
+
+// Name implements Model.
+func (m *TGCNModel) Name() string { return "TGCN" }
+
+// Layers implements Model.
+func (m *TGCNModel) Layers() int { return 2 }
+
+// Hidden implements Model.
+func (m *TGCNModel) Hidden() int { return m.hidden }
+
+// Params implements Model.
+func (m *TGCNModel) Params() []*autodiff.Node { return nn.CollectParams(m.enc, m.cell) }
+
+// BeginStep implements Model: snapshots recurrent state for the step's
+// training forwards.
+func (m *TGCNModel) BeginStep(t int) { m.state.snapshot() }
+
+// Reset implements Model.
+func (m *TGCNModel) Reset() { m.state.reset() }
+
+// WrapOptimizer implements Model.
+func (m *TGCNModel) WrapOptimizer(opt autodiff.Optimizer) autodiff.Optimizer { return opt }
+
+// Forward implements Model.
+func (m *TGCNModel) Forward(tp *autodiff.Tape, v View) *autodiff.Node {
+	x := tp.ReLU(m.enc.Apply(tp, v.Norm, autodiff.Constant(v.Feat)))
+	h := autodiff.Constant(m.state.gather(v))
+	conv := func(mod nn.Module, in *autodiff.Node) *autodiff.Node {
+		return mod.(*nn.GCNConv).Apply(tp, v.Norm, in)
+	}
+	hNew := m.cell.Apply(tp, conv, x, h)
+	if !v.NoCommit {
+		m.state.write(v, hNew.Value)
+	}
+	return hNew
+}

@@ -1,0 +1,117 @@
+package dgnn
+
+import (
+	"math/rand"
+
+	"streamgnn/internal/autodiff"
+	"streamgnn/internal/nn"
+	"streamgnn/internal/tensor"
+)
+
+// WinGNNModel is WinGNN (Zhu et al.): a plain two-layer GCN with *no*
+// explicit temporal module; temporal adaptation comes from training with a
+// randomized sliding window of per-snapshot gradients. The window mechanism
+// lives in the winOptimizer returned by WrapOptimizer: each update applies
+// the mean of a random-length suffix of recently observed gradients instead
+// of only the newest one (random gradient-aggregation window).
+type WinGNNModel struct {
+	conv1, conv2 *nn.GCNConv
+	skip         *nn.Linear
+	hidden       int
+	window       int
+	rng          *rand.Rand
+}
+
+// NewWinGNN returns a WinGNN with gradient window 8.
+func NewWinGNN(rng *rand.Rand, featDim, hidden int) *WinGNNModel {
+	return &WinGNNModel{
+		conv1:  nn.NewGCNConv(rng, featDim, hidden),
+		conv2:  nn.NewGCNConv(rng, hidden, hidden),
+		skip:   nn.NewLinear(rng, featDim, hidden),
+		hidden: hidden,
+		window: 8,
+		rng:    rand.New(rand.NewSource(rng.Int63())),
+	}
+}
+
+// Name implements Model.
+func (m *WinGNNModel) Name() string { return "WinGNN" }
+
+// Layers implements Model.
+func (m *WinGNNModel) Layers() int { return 2 }
+
+// Hidden implements Model.
+func (m *WinGNNModel) Hidden() int { return m.hidden }
+
+// Params implements Model.
+func (m *WinGNNModel) Params() []*autodiff.Node {
+	return nn.CollectParams(m.conv1, m.conv2, m.skip)
+}
+
+// BeginStep implements Model.
+func (m *WinGNNModel) BeginStep(t int) {}
+
+// Reset implements Model.
+func (m *WinGNNModel) Reset() {}
+
+// WrapOptimizer implements Model: wraps opt in the random
+// gradient-aggregation window.
+func (m *WinGNNModel) WrapOptimizer(opt autodiff.Optimizer) autodiff.Optimizer {
+	return &winOptimizer{inner: opt, window: m.window, rng: m.rng}
+}
+
+// Forward implements Model.
+func (m *WinGNNModel) Forward(tp *autodiff.Tape, v View) *autodiff.Node {
+	x := autodiff.Constant(v.Feat)
+	h := tp.ReLU(m.conv1.Apply(tp, v.Norm, x))
+	h = m.conv2.Apply(tp, v.Norm, h)
+	return tp.Tanh(tp.Add(h, m.skip.Apply(tp, x)))
+}
+
+// winOptimizer implements WinGNN's random gradient-aggregation window: it
+// remembers the last `window` gradient snapshots and, on each Step, replaces
+// the live gradient with the mean of a uniformly random-length suffix of the
+// history before delegating to the wrapped optimizer.
+type winOptimizer struct {
+	inner   autodiff.Optimizer
+	window  int
+	rng     *rand.Rand
+	history [][]*tensor.Matrix
+}
+
+// Params implements autodiff.Optimizer.
+func (w *winOptimizer) Params() []*autodiff.Node { return w.inner.Params() }
+
+// ZeroGrad implements autodiff.Optimizer.
+func (w *winOptimizer) ZeroGrad() { w.inner.ZeroGrad() }
+
+// Step implements autodiff.Optimizer.
+func (w *winOptimizer) Step() {
+	params := w.inner.Params()
+	// Snapshot the live gradients (nil grads are zero).
+	snap := make([]*tensor.Matrix, len(params))
+	for i, p := range params {
+		if p.Grad != nil {
+			snap[i] = p.Grad.Clone()
+		}
+	}
+	w.history = append(w.history, snap)
+	if len(w.history) > w.window {
+		w.history = w.history[1:]
+	}
+	n := 1 + w.rng.Intn(len(w.history))
+	suffix := w.history[len(w.history)-n:]
+	// Replace live gradients with the suffix mean.
+	for i, p := range params {
+		if p.Grad == nil {
+			continue
+		}
+		p.Grad.Zero()
+		for _, s := range suffix {
+			if s[i] != nil {
+				tensor.AddScaledInPlace(p.Grad, s[i], 1/float64(n))
+			}
+		}
+	}
+	w.inner.Step()
+}

@@ -1,0 +1,318 @@
+// Package graph implements the dynamic heterogeneous graph model of the
+// paper's Section II: typed nodes carrying attribute vectors, typed
+// timestamped edges, snapshot views with cached (normalized) adjacency
+// matrices, L-hop induced subgraphs for node-level training partitions, and
+// tracking of the update set U used by Algorithm 1's GetSampleNode.
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"streamgnn/internal/tensor"
+)
+
+// NodeType identifies the entity type of a node (patient, transaction, ...).
+type NodeType uint8
+
+// EdgeType identifies the relation type of an edge (lab event, flow, ...).
+type EdgeType uint8
+
+// Edge is one stored directed edge.
+type Edge struct {
+	To   int
+	Type EdgeType
+	Time int64
+	// Label is an optional edge label used as a self-supervision target
+	// (e.g. post sentiment in the Reddit workload). NaN means unlabeled.
+	Label float64
+}
+
+// HasLabel reports whether the edge carries a self-supervision label.
+func (e Edge) HasLabel() bool { return !math.IsNaN(e.Label) }
+
+// Dynamic is a mutable graph snapshot. It is the state of the graph stream
+// "as of now": the stream layer applies events to it between training steps.
+//
+// Dynamic is not safe for concurrent mutation; the engine serializes stream
+// application and training.
+type Dynamic struct {
+	featDim int
+	ntype   []NodeType
+	feat    []float64 // n × featDim, row-major
+	label   []float64 // node labels; NaN = unlabeled
+
+	out [][]Edge
+	in  [][]Edge
+
+	updated map[int]struct{}
+	version int64
+
+	cacheVersion int64
+	normAdj      *tensor.CSR
+	rwFwd        *tensor.CSR
+	rwRev        *tensor.CSR
+
+	typedVersion int64
+	typedNTypes  int
+	typedAdj     []*tensor.CSR
+}
+
+// NewDynamic returns an empty dynamic graph whose nodes carry featDim
+// attributes.
+func NewDynamic(featDim int) *Dynamic {
+	if featDim <= 0 {
+		panic(fmt.Sprintf("graph: feature dimension must be positive, got %d", featDim))
+	}
+	return &Dynamic{featDim: featDim, updated: make(map[int]struct{})}
+}
+
+// N returns the number of nodes.
+func (g *Dynamic) N() int { return len(g.ntype) }
+
+// FeatDim returns the per-node attribute dimension.
+func (g *Dynamic) FeatDim() int { return g.featDim }
+
+// Version increases on every mutation; snapshot caches key on it.
+func (g *Dynamic) Version() int64 { return g.version }
+
+func (g *Dynamic) touch(v int) {
+	g.updated[v] = struct{}{}
+	g.version++
+}
+
+// AddNode appends a node of type t with the given attribute vector (padded
+// or truncated to FeatDim) and returns its id. New nodes start unlabeled.
+func (g *Dynamic) AddNode(t NodeType, feat []float64) int {
+	id := len(g.ntype)
+	g.ntype = append(g.ntype, t)
+	row := make([]float64, g.featDim)
+	copy(row, feat)
+	g.feat = append(g.feat, row...)
+	g.label = append(g.label, math.NaN())
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	g.touch(id)
+	return id
+}
+
+// Type returns node v's type.
+func (g *Dynamic) Type(v int) NodeType { return g.ntype[v] }
+
+// AddEdge inserts a directed edge u→v of type et at time ts with no label.
+func (g *Dynamic) AddEdge(u, v int, et EdgeType, ts int64) {
+	g.AddLabeledEdge(u, v, et, ts, math.NaN())
+}
+
+// AddLabeledEdge inserts a directed edge carrying a self-supervision label.
+func (g *Dynamic) AddLabeledEdge(u, v int, et EdgeType, ts int64, label float64) {
+	g.checkNode(u)
+	g.checkNode(v)
+	g.out[u] = append(g.out[u], Edge{To: v, Type: et, Time: ts, Label: label})
+	g.in[v] = append(g.in[v], Edge{To: u, Type: et, Time: ts, Label: label})
+	g.touch(u)
+	g.touch(v)
+}
+
+// AddUndirectedEdge inserts edges in both directions.
+func (g *Dynamic) AddUndirectedEdge(u, v int, et EdgeType, ts int64) {
+	g.AddEdge(u, v, et, ts)
+	g.AddEdge(v, u, et, ts)
+}
+
+func (g *Dynamic) checkNode(v int) {
+	if v < 0 || v >= len(g.ntype) {
+		panic(fmt.Sprintf("graph: node %d out of range [0,%d)", v, len(g.ntype)))
+	}
+}
+
+// SetFeature replaces node v's attribute vector.
+func (g *Dynamic) SetFeature(v int, feat []float64) {
+	g.checkNode(v)
+	row := g.feat[v*g.featDim : (v+1)*g.featDim]
+	for i := range row {
+		if i < len(feat) {
+			row[i] = feat[i]
+		} else {
+			row[i] = 0
+		}
+	}
+	g.touch(v)
+}
+
+// Feature returns a view of node v's attribute vector.
+func (g *Dynamic) Feature(v int) []float64 {
+	g.checkNode(v)
+	return g.feat[v*g.featDim : (v+1)*g.featDim]
+}
+
+// SetLabel attaches a self-supervision label to node v.
+func (g *Dynamic) SetLabel(v int, y float64) {
+	g.checkNode(v)
+	g.label[v] = y
+	g.touch(v)
+}
+
+// Label returns node v's label and whether one is set.
+func (g *Dynamic) Label(v int) (float64, bool) {
+	g.checkNode(v)
+	y := g.label[v]
+	return y, !math.IsNaN(y)
+}
+
+// OutEdges returns a view of v's outgoing edges.
+func (g *Dynamic) OutEdges(v int) []Edge { g.checkNode(v); return g.out[v] }
+
+// InEdges returns a view of v's incoming edges (Edge.To is the source).
+func (g *Dynamic) InEdges(v int) []Edge { g.checkNode(v); return g.in[v] }
+
+// Degree returns the total (in+out) degree of v.
+func (g *Dynamic) Degree(v int) int { g.checkNode(v); return len(g.out[v]) + len(g.in[v]) }
+
+// NumEdges returns the number of directed edges in the graph.
+func (g *Dynamic) NumEdges() int {
+	n := 0
+	for _, es := range g.out {
+		n += len(es)
+	}
+	return n
+}
+
+// ExpireEdgesBefore drops every edge with Time < ts, implementing the
+// sliding-window view of the stream. Nodes are kept.
+func (g *Dynamic) ExpireEdgesBefore(ts int64) {
+	changed := false
+	filter := func(es []Edge) []Edge {
+		k := 0
+		for _, e := range es {
+			if e.Time >= ts {
+				es[k] = e
+				k++
+			}
+		}
+		if k != len(es) {
+			changed = true
+		}
+		return es[:k]
+	}
+	for v := range g.out {
+		g.out[v] = filter(g.out[v])
+		g.in[v] = filter(g.in[v])
+	}
+	if changed {
+		g.version++
+	}
+}
+
+// Updated returns the set of nodes touched (added, re-attributed, relabeled,
+// or incident to a new edge) since the last ResetUpdated, in ascending order.
+// This is the set U in Algorithm 1.
+func (g *Dynamic) Updated() []int {
+	ids := make([]int, 0, len(g.updated))
+	for v := range g.updated {
+		ids = append(ids, v)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// ResetUpdated clears the update set (called once per training step).
+func (g *Dynamic) ResetUpdated() {
+	g.updated = make(map[int]struct{})
+}
+
+// Features returns the n×FeatDim attribute matrix (copy).
+func (g *Dynamic) Features() *tensor.Matrix {
+	m := tensor.New(g.N(), g.featDim)
+	copy(m.Data, g.feat)
+	return m
+}
+
+func (g *Dynamic) refreshCaches() {
+	if g.cacheVersion == g.version && g.normAdj != nil {
+		return
+	}
+	n := g.N()
+	// Symmetric GCN normalization of A + Aᵀ + I.
+	deg := make([]float64, n)
+	for v := 0; v < n; v++ {
+		deg[v] = float64(len(g.out[v])+len(g.in[v])) + 1 // +1 self loop
+	}
+	entries := make([][]tensor.CSREntry, n)
+	fwd := make([][]tensor.CSREntry, n)
+	rev := make([][]tensor.CSREntry, n)
+	for v := 0; v < n; v++ {
+		dv := math.Sqrt(deg[v])
+		entries[v] = append(entries[v], tensor.CSREntry{Col: v, Val: 1 / deg[v]})
+		for _, e := range g.out[v] {
+			entries[v] = append(entries[v], tensor.CSREntry{Col: e.To, Val: 1 / (dv * math.Sqrt(deg[e.To]))})
+			fwd[v] = append(fwd[v], tensor.CSREntry{Col: e.To, Val: 1 / float64(max(1, len(g.out[v])))})
+		}
+		for _, e := range g.in[v] {
+			entries[v] = append(entries[v], tensor.CSREntry{Col: e.To, Val: 1 / (dv * math.Sqrt(deg[e.To]))})
+			rev[v] = append(rev[v], tensor.CSREntry{Col: e.To, Val: 1 / float64(max(1, len(g.in[v])))})
+		}
+	}
+	g.normAdj = tensor.NewCSR(n, n, entries)
+	g.rwFwd = tensor.NewCSR(n, n, fwd)
+	g.rwRev = tensor.NewCSR(n, n, rev)
+	g.cacheVersion = g.version
+}
+
+// NormAdj returns the symmetric GCN-normalized adjacency
+// D^{-1/2}(A+Aᵀ+I)D^{-1/2} of the current snapshot (cached per version).
+func (g *Dynamic) NormAdj() *tensor.CSR {
+	g.refreshCaches()
+	return g.normAdj
+}
+
+// RWAdj returns the row-normalized random-walk adjacency. reverse selects
+// the in-edge direction (used by DCRNN's bidirectional diffusion).
+func (g *Dynamic) RWAdj(reverse bool) *tensor.CSR {
+	g.refreshCaches()
+	if reverse {
+		return g.rwRev
+	}
+	return g.rwFwd
+}
+
+// KHopBall returns the nodes within L hops of v (including v), treating
+// edges as undirected, in ascending id order. This is the node set of v's
+// training partition G_v from Section III-C.
+func (g *Dynamic) KHopBall(v, L int) []int {
+	g.checkNode(v)
+	seen := map[int]struct{}{v: {}}
+	frontier := []int{v}
+	for hop := 0; hop < L; hop++ {
+		var next []int
+		for _, u := range frontier {
+			for _, e := range g.out[u] {
+				if _, ok := seen[e.To]; !ok {
+					seen[e.To] = struct{}{}
+					next = append(next, e.To)
+				}
+			}
+			for _, e := range g.in[u] {
+				if _, ok := seen[e.To]; !ok {
+					seen[e.To] = struct{}{}
+					next = append(next, e.To)
+				}
+			}
+		}
+		frontier = next
+	}
+	ids := make([]int, 0, len(seen))
+	for u := range seen {
+		ids = append(ids, u)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,174 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"streamgnn/internal/tensor"
+)
+
+// Subgraph is the induced subgraph on a node subset with local (dense)
+// indexing. It is the unit of a node's training partition: forward and
+// backward passes during weighted training run on a Subgraph instead of the
+// full snapshot, which is where the paper's O(d^L) vs O(n) resource saving
+// comes from.
+type Subgraph struct {
+	// Nodes maps local index -> global node id (ascending).
+	Nodes []int
+	// Center is the local index of the partition's center node, or -1.
+	Center int
+
+	local   map[int]int
+	g       *Dynamic
+	version int64
+
+	normAdj *tensor.CSR
+	rwFwd   *tensor.CSR
+	rwRev   *tensor.CSR
+}
+
+// Induced returns the subgraph induced by the given global node ids
+// (deduplicated, ascending). center, if non-negative, must be among nodes.
+func (g *Dynamic) Induced(nodes []int, center int) *Subgraph {
+	s := &Subgraph{g: g, version: g.version, Center: -1, local: make(map[int]int, len(nodes))}
+	sorted := append([]int(nil), nodes...)
+	sort.Ints(sorted)
+	for _, v := range sorted {
+		g.checkNode(v)
+		if _, dup := s.local[v]; dup {
+			continue
+		}
+		s.local[v] = len(s.Nodes)
+		s.Nodes = append(s.Nodes, v)
+	}
+	if center >= 0 {
+		li, ok := s.local[center]
+		if !ok {
+			panic(fmt.Sprintf("graph: center %d not in induced node set", center))
+		}
+		s.Center = li
+	}
+	s.build()
+	return s
+}
+
+// Partition returns node v's training partition: the induced subgraph of
+// v's L-hop neighborhood with v as center (Section III-C).
+func (g *Dynamic) Partition(v, L int) *Subgraph {
+	return g.Induced(g.KHopBall(v, L), v)
+}
+
+// N returns the number of nodes in the subgraph.
+func (s *Subgraph) N() int { return len(s.Nodes) }
+
+// LocalID returns the local index of global node v, or -1.
+func (s *Subgraph) LocalID(v int) int {
+	if li, ok := s.local[v]; ok {
+		return li
+	}
+	return -1
+}
+
+// GlobalID returns the global node id at local index li.
+func (s *Subgraph) GlobalID(li int) int { return s.Nodes[li] }
+
+// build assembles the subgraph's normalized adjacencies. Normalization uses
+// each node's GLOBAL degree, not its degree inside the subgraph: message
+// weights then match the full-graph convolution exactly, so the embedding of
+// the center of an L-hop partition computed on the subgraph equals its
+// full-graph embedding — edges to nodes outside the subgraph simply
+// contribute nothing (they are outside the center's receptive field anyway).
+func (s *Subgraph) build() {
+	n := len(s.Nodes)
+	type halfEdge struct{ to int }
+	outs := make([][]halfEdge, n)
+	ins := make([][]halfEdge, n)
+	outDeg := make([]int, n)
+	inDeg := make([]int, n)
+	for li, v := range s.Nodes {
+		outDeg[li] = len(s.g.out[v])
+		inDeg[li] = len(s.g.in[v])
+		for _, e := range s.g.out[v] {
+			if lj, ok := s.local[e.To]; ok {
+				outs[li] = append(outs[li], halfEdge{lj})
+			}
+		}
+		for _, e := range s.g.in[v] {
+			if lj, ok := s.local[e.To]; ok {
+				ins[li] = append(ins[li], halfEdge{lj})
+			}
+		}
+	}
+	deg := make([]float64, n)
+	for li := range s.Nodes {
+		deg[li] = float64(outDeg[li]+inDeg[li]) + 1 // global degree + self loop
+	}
+	sym := make([][]tensor.CSREntry, n)
+	fwd := make([][]tensor.CSREntry, n)
+	rev := make([][]tensor.CSREntry, n)
+	for li := range s.Nodes {
+		dv := math.Sqrt(deg[li])
+		sym[li] = append(sym[li], tensor.CSREntry{Col: li, Val: 1 / deg[li]})
+		for _, e := range outs[li] {
+			sym[li] = append(sym[li], tensor.CSREntry{Col: e.to, Val: 1 / (dv * math.Sqrt(deg[e.to]))})
+			fwd[li] = append(fwd[li], tensor.CSREntry{Col: e.to, Val: 1 / float64(max(1, outDeg[li]))})
+		}
+		for _, e := range ins[li] {
+			sym[li] = append(sym[li], tensor.CSREntry{Col: e.to, Val: 1 / (dv * math.Sqrt(deg[e.to]))})
+			rev[li] = append(rev[li], tensor.CSREntry{Col: e.to, Val: 1 / float64(max(1, inDeg[li]))})
+		}
+	}
+	s.normAdj = tensor.NewCSR(n, n, sym)
+	s.rwFwd = tensor.NewCSR(n, n, fwd)
+	s.rwRev = tensor.NewCSR(n, n, rev)
+}
+
+// NormAdj returns the subgraph's symmetric GCN-normalized adjacency.
+func (s *Subgraph) NormAdj() *tensor.CSR { return s.normAdj }
+
+// RWAdj returns the subgraph's row-normalized random-walk adjacency.
+func (s *Subgraph) RWAdj(reverse bool) *tensor.CSR {
+	if reverse {
+		return s.rwRev
+	}
+	return s.rwFwd
+}
+
+// Features returns the |S|×FeatDim attribute matrix of the subgraph nodes.
+func (s *Subgraph) Features() *tensor.Matrix {
+	m := tensor.New(len(s.Nodes), s.g.featDim)
+	for li, v := range s.Nodes {
+		copy(m.Row(li), s.g.Feature(v))
+	}
+	return m
+}
+
+// LabeledNodes returns the local indices and labels of labeled nodes.
+func (s *Subgraph) LabeledNodes() (idx []int, labels []float64) {
+	for li, v := range s.Nodes {
+		if y, ok := s.g.Label(v); ok {
+			idx = append(idx, li)
+			labels = append(labels, y)
+		}
+	}
+	return idx, labels
+}
+
+// LabeledEdges returns local (src, dst) pairs and labels for labeled edges
+// fully inside the subgraph.
+func (s *Subgraph) LabeledEdges() (src, dst []int, labels []float64) {
+	for li, v := range s.Nodes {
+		for _, e := range s.g.out[v] {
+			if !e.HasLabel() {
+				continue
+			}
+			if lj, ok := s.local[e.To]; ok {
+				src = append(src, li)
+				dst = append(dst, lj)
+				labels = append(labels, e.Label)
+			}
+		}
+	}
+	return src, dst, labels
+}

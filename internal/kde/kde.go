@@ -1,0 +1,134 @@
+// Package kde implements classical kernel density estimation (the paper's
+// Section V-A preliminaries) and the measurement utilities used to validate
+// the graph-KDE sampler of Algorithm 2: empirical sampling densities,
+// hop-distance profiles, and edge-smoothness of distributions over graph
+// nodes (Theorem V.1).
+package kde
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Kernel is a symmetric probability kernel K(t) with ∫K = 1.
+type Kernel struct {
+	Name string
+	// Density evaluates K(t).
+	Density func(t float64) float64
+	// Draw samples from K.
+	Draw func(rng *rand.Rand) float64
+}
+
+// Gaussian is the standard normal kernel.
+var Gaussian = Kernel{
+	Name:    "gaussian",
+	Density: func(t float64) float64 { return math.Exp(-t*t/2) / math.Sqrt(2*math.Pi) },
+	Draw:    func(rng *rand.Rand) float64 { return rng.NormFloat64() },
+}
+
+// Epanechnikov is the parabolic kernel 3/4·(1−t²) on [−1, 1].
+var Epanechnikov = Kernel{
+	Name: "epanechnikov",
+	Density: func(t float64) float64 {
+		if t < -1 || t > 1 {
+			return 0
+		}
+		return 0.75 * (1 - t*t)
+	},
+	Draw: func(rng *rand.Rand) float64 {
+		// Devroye's three-uniforms rule samples Epanechnikov exactly:
+		// return u2 if |u3| is the largest, else u3.
+		u1, u2, u3 := rng.Float64()*2-1, rng.Float64()*2-1, rng.Float64()*2-1
+		if math.Abs(u3) >= math.Abs(u2) && math.Abs(u3) >= math.Abs(u1) {
+			return u2
+		}
+		return u3
+	},
+}
+
+// Exponential is the double-exponential (Laplace) kernel ½·e^{−|t|}.
+var Exponential = Kernel{
+	Name:    "exponential",
+	Density: func(t float64) float64 { return 0.5 * math.Exp(-math.Abs(t)) },
+	Draw: func(rng *rand.Rand) float64 {
+		u := rng.Float64() - 0.5
+		if u >= 0 {
+			return -math.Log(1 - 2*u)
+		}
+		return math.Log(1 + 2*u)
+	},
+}
+
+// Estimator is a (weighted) kernel density estimate built from a sample,
+// Equation 5 of the paper with optional per-point weights (weighted KDE).
+type Estimator struct {
+	Data    []float64
+	Weights []float64 // nil means uniform
+	H       float64   // bandwidth, > 0
+	Kernel  Kernel
+}
+
+// NewEstimator returns a KDE over data with bandwidth h.
+func NewEstimator(data []float64, h float64, k Kernel) *Estimator {
+	if h <= 0 {
+		panic(fmt.Sprintf("kde: bandwidth must be positive, got %v", h))
+	}
+	if len(data) == 0 {
+		panic("kde: empty sample")
+	}
+	return &Estimator{Data: data, H: h, Kernel: k}
+}
+
+// SetWeights attaches per-point weights (they need not be normalized).
+func (e *Estimator) SetWeights(w []float64) {
+	if len(w) != len(e.Data) {
+		panic(fmt.Sprintf("kde: %d weights for %d points", len(w), len(e.Data)))
+	}
+	e.Weights = w
+}
+
+func (e *Estimator) totalWeight() float64 {
+	if e.Weights == nil {
+		return float64(len(e.Data))
+	}
+	var s float64
+	for _, w := range e.Weights {
+		s += w
+	}
+	return s
+}
+
+// Density evaluates the estimate f̃(x) = Σᵢ wᵢ·K_h(x−xᵢ) / Σᵢ wᵢ.
+func (e *Estimator) Density(x float64) float64 {
+	var s float64
+	for i, xi := range e.Data {
+		w := 1.0
+		if e.Weights != nil {
+			w = e.Weights[i]
+		}
+		s += w * e.Kernel.Density((x-xi)/e.H) / e.H
+	}
+	return s / e.totalWeight()
+}
+
+// Sample draws from the mixture: pick a kernel ∝ weight, then draw from it.
+// This mirrors the two-stage sampling view that Algorithm 2 transplants to
+// graphs (pick a seed ∝ chips, then random-walk from it).
+func (e *Estimator) Sample(rng *rand.Rand) float64 {
+	i := 0
+	if e.Weights == nil {
+		i = rng.Intn(len(e.Data))
+	} else {
+		r := rng.Float64() * e.totalWeight()
+		for j, w := range e.Weights {
+			r -= w
+			if r < 0 {
+				i = j
+				break
+			}
+			i = j
+		}
+	}
+	return e.Data[i] + e.H*e.Kernel.Draw(rng)
+}

@@ -1,0 +1,151 @@
+package nn
+
+import (
+	"math/rand"
+
+	"streamgnn/internal/autodiff"
+	"streamgnn/internal/tensor"
+)
+
+// GRUCell is a dense gated recurrent unit over row-batched inputs:
+//
+//	z = σ([x|h]·Wz + bz)   r = σ([x|h]·Wr + br)
+//	c = tanh([x|r∘h]·Wc + bc)   h' = z∘h + (1−z)∘c
+type GRUCell struct {
+	wz, wr, wc *Linear
+	hidden     int
+}
+
+// NewGRUCell returns a GRU cell with the given input and hidden sizes.
+func NewGRUCell(rng *rand.Rand, in, hidden int) *GRUCell {
+	return &GRUCell{
+		wz:     NewLinear(rng, in+hidden, hidden),
+		wr:     NewLinear(rng, in+hidden, hidden),
+		wc:     NewLinear(rng, in+hidden, hidden),
+		hidden: hidden,
+	}
+}
+
+// Apply advances the cell one step.
+func (c *GRUCell) Apply(tp *autodiff.Tape, x, h *autodiff.Node) *autodiff.Node {
+	xh := tp.ConcatCols(x, h)
+	z := tp.Sigmoid(c.wz.Apply(tp, xh))
+	r := tp.Sigmoid(c.wr.Apply(tp, xh))
+	cand := tp.Tanh(c.wc.Apply(tp, tp.ConcatCols(x, tp.Mul(r, h))))
+	return tp.Add(tp.Mul(z, h), tp.Mul(tp.OneMinus(z), cand))
+}
+
+// Params implements Module.
+func (c *GRUCell) Params() []*autodiff.Node {
+	return CollectParams(c.wz, c.wr, c.wc)
+}
+
+// Hidden returns the hidden dimension.
+func (c *GRUCell) Hidden() int { return c.hidden }
+
+// LSTMCell is a dense long short-term memory cell over row-batched inputs.
+type LSTMCell struct {
+	wi, wf, wo, wg *Linear
+	hidden         int
+}
+
+// NewLSTMCell returns an LSTM cell with the given input and hidden sizes.
+func NewLSTMCell(rng *rand.Rand, in, hidden int) *LSTMCell {
+	return &LSTMCell{
+		wi:     NewLinear(rng, in+hidden, hidden),
+		wf:     NewLinear(rng, in+hidden, hidden),
+		wo:     NewLinear(rng, in+hidden, hidden),
+		wg:     NewLinear(rng, in+hidden, hidden),
+		hidden: hidden,
+	}
+}
+
+// Apply advances the cell one step, returning the new hidden and cell state.
+func (c *LSTMCell) Apply(tp *autodiff.Tape, x, h, cell *autodiff.Node) (hNew, cellNew *autodiff.Node) {
+	xh := tp.ConcatCols(x, h)
+	i := tp.Sigmoid(c.wi.Apply(tp, xh))
+	f := tp.Sigmoid(c.wf.Apply(tp, xh))
+	o := tp.Sigmoid(c.wo.Apply(tp, xh))
+	g := tp.Tanh(c.wg.Apply(tp, xh))
+	cellNew = tp.Add(tp.Mul(f, cell), tp.Mul(i, g))
+	hNew = tp.Mul(o, tp.Tanh(cellNew))
+	return hNew, cellNew
+}
+
+// Params implements Module.
+func (c *LSTMCell) Params() []*autodiff.Node {
+	return CollectParams(c.wi, c.wf, c.wo, c.wg)
+}
+
+// Hidden returns the hidden dimension.
+func (c *LSTMCell) Hidden() int { return c.hidden }
+
+// GraphConvFn applies some graph convolution to x; it abstracts over GCN and
+// diffusion convolutions so the gated cells below can host either.
+type GraphConvFn func(tp *autodiff.Tape, x *autodiff.Node) *autodiff.Node
+
+// ConvGRUCell is a GRU whose gate transforms are graph convolutions (the
+// recurrence of TGCN and DCRNN).
+type ConvGRUCell struct {
+	convZ, convR, convC Module
+	hidden              int
+}
+
+// NewConvGRUCell builds a graph-gated GRU from three conv constructors;
+// newConv produces a conv mapping in+hidden -> hidden channels.
+func NewConvGRUCell(hidden int, newConv func() Module) *ConvGRUCell {
+	return &ConvGRUCell{convZ: newConv(), convR: newConv(), convC: newConv(), hidden: hidden}
+}
+
+// Apply advances the cell: conv is invoked with each gate's conv module and
+// the gate input. The caller binds the adjacency inside conv.
+func (c *ConvGRUCell) Apply(tp *autodiff.Tape, conv func(m Module, x *autodiff.Node) *autodiff.Node, x, h *autodiff.Node) *autodiff.Node {
+	xh := tp.ConcatCols(x, h)
+	z := tp.Sigmoid(conv(c.convZ, xh))
+	r := tp.Sigmoid(conv(c.convR, xh))
+	cand := tp.Tanh(conv(c.convC, tp.ConcatCols(x, tp.Mul(r, h))))
+	return tp.Add(tp.Mul(z, h), tp.Mul(tp.OneMinus(z), cand))
+}
+
+// Params implements Module.
+func (c *ConvGRUCell) Params() []*autodiff.Node {
+	return CollectParams(c.convZ, c.convR, c.convC)
+}
+
+// Hidden returns the hidden dimension.
+func (c *ConvGRUCell) Hidden() int { return c.hidden }
+
+// ConvLSTMCell is an LSTM whose gate transforms are graph convolutions
+// (the recurrence of GCLSTM).
+type ConvLSTMCell struct {
+	convI, convF, convO, convG Module
+	hidden                     int
+}
+
+// NewConvLSTMCell builds a graph-gated LSTM from four conv constructors.
+func NewConvLSTMCell(hidden int, newConv func() Module) *ConvLSTMCell {
+	return &ConvLSTMCell{convI: newConv(), convF: newConv(), convO: newConv(), convG: newConv(), hidden: hidden}
+}
+
+// Apply advances the cell, returning new hidden and cell state.
+func (c *ConvLSTMCell) Apply(tp *autodiff.Tape, conv func(m Module, x *autodiff.Node) *autodiff.Node, x, h, cell *autodiff.Node) (hNew, cellNew *autodiff.Node) {
+	xh := tp.ConcatCols(x, h)
+	i := tp.Sigmoid(conv(c.convI, xh))
+	f := tp.Sigmoid(conv(c.convF, xh))
+	o := tp.Sigmoid(conv(c.convO, xh))
+	g := tp.Tanh(conv(c.convG, xh))
+	cellNew = tp.Add(tp.Mul(f, cell), tp.Mul(i, g))
+	hNew = tp.Mul(o, tp.Tanh(cellNew))
+	return hNew, cellNew
+}
+
+// Params implements Module.
+func (c *ConvLSTMCell) Params() []*autodiff.Node {
+	return CollectParams(c.convI, c.convF, c.convO, c.convG)
+}
+
+// Hidden returns the hidden dimension.
+func (c *ConvLSTMCell) Hidden() int { return c.hidden }
+
+// ZeroState returns an n×dim zero matrix (initial recurrent state).
+func ZeroState(n, dim int) *tensor.Matrix { return tensor.New(n, dim) }

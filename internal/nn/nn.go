@@ -1,0 +1,165 @@
+// Package nn provides the neural building blocks shared by the seven dynamic
+// graph neural network baselines: linear layers, graph convolutions
+// (GCN-normalized and diffusion), graph-gated GRU/LSTM cells, dense GRU/LSTM
+// cells, and MLPs. Every module exposes its parameters for an optimizer.
+package nn
+
+import (
+	"math/rand"
+
+	"streamgnn/internal/autodiff"
+	"streamgnn/internal/tensor"
+)
+
+// Module is anything owning trainable parameters.
+type Module interface {
+	Params() []*autodiff.Node
+}
+
+// CollectParams concatenates the parameters of several modules.
+func CollectParams(ms ...Module) []*autodiff.Node {
+	var out []*autodiff.Node
+	for _, m := range ms {
+		out = append(out, m.Params()...)
+	}
+	return out
+}
+
+// Linear is a fully connected layer y = x·W + b.
+type Linear struct {
+	W, B    *autodiff.Node
+	in, out int
+}
+
+// NewLinear returns a Glorot-initialized linear layer.
+func NewLinear(rng *rand.Rand, in, out int) *Linear {
+	return &Linear{
+		W:   autodiff.Param(tensor.Glorot(rng, in, out)),
+		B:   autodiff.Param(tensor.New(1, out)),
+		in:  in,
+		out: out,
+	}
+}
+
+// Apply computes x·W + b.
+func (l *Linear) Apply(tp *autodiff.Tape, x *autodiff.Node) *autodiff.Node {
+	return tp.AddBias(tp.MatMul(x, l.W), l.B)
+}
+
+// Params implements Module.
+func (l *Linear) Params() []*autodiff.Node { return []*autodiff.Node{l.W, l.B} }
+
+// In returns the input dimension.
+func (l *Linear) In() int { return l.in }
+
+// Out returns the output dimension.
+func (l *Linear) Out() int { return l.out }
+
+// GCNConv is a graph convolution h = Â·x·W + b with Â the symmetric
+// GCN-normalized adjacency (Kipf & Welling).
+type GCNConv struct {
+	lin *Linear
+}
+
+// NewGCNConv returns a GCN convolution from in to out channels.
+func NewGCNConv(rng *rand.Rand, in, out int) *GCNConv {
+	return &GCNConv{lin: NewLinear(rng, in, out)}
+}
+
+// Apply computes Â·x·W + b.
+func (c *GCNConv) Apply(tp *autodiff.Tape, adj *tensor.CSR, x *autodiff.Node) *autodiff.Node {
+	return tp.AddBias(tp.SpMM(adj, tp.MatMul(x, c.lin.W)), c.lin.B)
+}
+
+// Params implements Module.
+func (c *GCNConv) Params() []*autodiff.Node { return c.lin.Params() }
+
+// Out returns the output dimension.
+func (c *GCNConv) Out() int { return c.lin.out }
+
+// DiffusionConv is DCRNN's bidirectional diffusion convolution
+// h = Σ_{k=0..K} (P_f^k·x)·Wf_k + (P_r^k·x)·Wr_k + b, where P_f and P_r are
+// the forward and reverse random-walk transition matrices.
+type DiffusionConv struct {
+	K      int
+	Wf, Wr []*autodiff.Node
+	B      *autodiff.Node
+	out    int
+}
+
+// NewDiffusionConv returns a K-step bidirectional diffusion convolution.
+func NewDiffusionConv(rng *rand.Rand, in, out, k int) *DiffusionConv {
+	c := &DiffusionConv{K: k, B: autodiff.Param(tensor.New(1, out)), out: out}
+	for i := 0; i <= k; i++ {
+		c.Wf = append(c.Wf, autodiff.Param(tensor.Glorot(rng, in, out)))
+		c.Wr = append(c.Wr, autodiff.Param(tensor.Glorot(rng, in, out)))
+	}
+	return c
+}
+
+// Apply computes the diffusion convolution with the given forward and
+// reverse transition matrices.
+func (c *DiffusionConv) Apply(tp *autodiff.Tape, fwd, rev *tensor.CSR, x *autodiff.Node) *autodiff.Node {
+	sum := tp.MatMul(x, c.Wf[0])
+	sum = tp.Add(sum, tp.MatMul(x, c.Wr[0]))
+	xf, xr := x, x
+	for k := 1; k <= c.K; k++ {
+		xf = tp.SpMM(fwd, xf)
+		xr = tp.SpMM(rev, xr)
+		sum = tp.Add(sum, tp.MatMul(xf, c.Wf[k]))
+		sum = tp.Add(sum, tp.MatMul(xr, c.Wr[k]))
+	}
+	return tp.AddBias(sum, c.B)
+}
+
+// Params implements Module.
+func (c *DiffusionConv) Params() []*autodiff.Node {
+	out := append([]*autodiff.Node{}, c.Wf...)
+	out = append(out, c.Wr...)
+	return append(out, c.B)
+}
+
+// Out returns the output dimension.
+func (c *DiffusionConv) Out() int { return c.out }
+
+// MLP is a multilayer perceptron with ReLU activations between layers
+// (the per-query prediction head of the paper's architecture, Figure 2).
+type MLP struct {
+	layers []*Linear
+}
+
+// NewMLP returns an MLP with the given layer widths, e.g. (rng, 16, 8, 1).
+func NewMLP(rng *rand.Rand, dims ...int) *MLP {
+	if len(dims) < 2 {
+		panic("nn: MLP needs at least input and output dims")
+	}
+	m := &MLP{}
+	for i := 0; i+1 < len(dims); i++ {
+		m.layers = append(m.layers, NewLinear(rng, dims[i], dims[i+1]))
+	}
+	return m
+}
+
+// Apply runs the MLP; the final layer has no activation (logits/regression).
+func (m *MLP) Apply(tp *autodiff.Tape, x *autodiff.Node) *autodiff.Node {
+	h := x
+	for i, l := range m.layers {
+		h = l.Apply(tp, h)
+		if i+1 < len(m.layers) {
+			h = tp.ReLU(h)
+		}
+	}
+	return h
+}
+
+// Params implements Module.
+func (m *MLP) Params() []*autodiff.Node {
+	var out []*autodiff.Node
+	for _, l := range m.layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// Out returns the output dimension.
+func (m *MLP) Out() int { return m.layers[len(m.layers)-1].out }

@@ -1,0 +1,306 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streamgnn/internal/autodiff"
+	"streamgnn/internal/tensor"
+)
+
+func adj3() *tensor.CSR {
+	// Path 0-1-2, symmetric GCN-normalized with self loops.
+	return tensor.NewCSR(3, 3, [][]tensor.CSREntry{
+		{{Col: 0, Val: 0.5}, {Col: 1, Val: 0.4}},
+		{{Col: 0, Val: 0.4}, {Col: 1, Val: 0.33}, {Col: 2, Val: 0.4}},
+		{{Col: 1, Val: 0.4}, {Col: 2, Val: 0.5}},
+	})
+}
+
+func TestLinearShapesAndParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewLinear(rng, 4, 2)
+	if l.In() != 4 || l.Out() != 2 || len(l.Params()) != 2 {
+		t.Fatal("linear metadata wrong")
+	}
+	tp := autodiff.NewTape()
+	x := autodiff.Constant(tensor.NewRandom(rng, 5, 4, 1))
+	y := l.Apply(tp, x)
+	if y.Value.Rows != 5 || y.Value.Cols != 2 {
+		t.Fatalf("output shape %dx%d", y.Value.Rows, y.Value.Cols)
+	}
+}
+
+func TestLinearLearnsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	l := NewLinear(rng, 2, 2)
+	opt := autodiff.NewAdam(0.05, l.Params())
+	for i := 0; i < 400; i++ {
+		tp := autodiff.NewTape()
+		x := autodiff.Constant(tensor.NewRandom(rng, 8, 2, 1))
+		loss := tp.MSE(l.Apply(tp, x), x.Value)
+		tp.Backward(loss)
+		opt.Step()
+	}
+	tp := autodiff.NewTape()
+	x := autodiff.Constant(tensor.NewRandom(rng, 8, 2, 1))
+	loss := tp.MSE(l.Apply(tp, x), x.Value)
+	if loss.Value.Data[0] > 1e-3 {
+		t.Fatalf("linear did not learn identity: loss %v", loss.Value.Data[0])
+	}
+}
+
+func TestGCNConvMixesNeighbors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := NewGCNConv(rng, 2, 2)
+	if c.Out() != 2 || len(c.Params()) != 2 {
+		t.Fatal("gcn metadata wrong")
+	}
+	tp := autodiff.NewTape()
+	x := tensor.New(3, 2)
+	x.Set(0, 0, 1) // only node 0 has signal
+	y := c.Apply(tp, adj3(), autodiff.Constant(x))
+	// Node 1 is adjacent to 0, so it must receive nonzero output; node 2 is
+	// 2 hops away and must only see the bias.
+	biasOnly := c.lin.B.Value
+	row2 := y.Value.Row(2)
+	for j := range row2 {
+		if math.Abs(row2[j]-biasOnly.Data[j]) > 1e-12 {
+			t.Fatal("2-hop node influenced by single conv")
+		}
+	}
+	row1 := y.Value.Row(1)
+	influenced := false
+	for j := range row1 {
+		if math.Abs(row1[j]-biasOnly.Data[j]) > 1e-9 {
+			influenced = true
+		}
+	}
+	if !influenced {
+		t.Fatal("neighbor not influenced by conv")
+	}
+}
+
+func TestDiffusionConvParamsAndShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := NewDiffusionConv(rng, 3, 5, 2)
+	if c.Out() != 5 {
+		t.Fatal("out dim wrong")
+	}
+	if len(c.Params()) != 2*(2+1)+1 {
+		t.Fatalf("param count %d", len(c.Params()))
+	}
+	fwd := tensor.Identity(4)
+	rev := tensor.Identity(4)
+	tp := autodiff.NewTape()
+	x := autodiff.Constant(tensor.NewRandom(rng, 4, 3, 1))
+	y := c.Apply(tp, fwd, rev, x)
+	if y.Value.Rows != 4 || y.Value.Cols != 5 {
+		t.Fatalf("shape %dx%d", y.Value.Rows, y.Value.Cols)
+	}
+}
+
+func TestDiffusionConvGradientFlows(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := NewDiffusionConv(rng, 2, 2, 2)
+	fwd := adj3()
+	rev := adj3()
+	tp := autodiff.NewTape()
+	x := autodiff.Constant(tensor.NewRandom(rng, 3, 2, 1))
+	loss := tp.MSE(c.Apply(tp, fwd, rev, x), tensor.New(3, 2))
+	tp.Backward(loss)
+	for i, p := range c.Params() {
+		if p.Grad == nil {
+			t.Fatalf("param %d got no gradient", i)
+		}
+	}
+}
+
+func TestMLPShapesAndLearning(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := NewMLP(rng, 2, 8, 1)
+	if m.Out() != 1 {
+		t.Fatal("out wrong")
+	}
+	// Learn XOR-ish function: y = x0*x1 on {-1,1}^2.
+	xs := tensor.FromSlice(4, 2, []float64{-1, -1, -1, 1, 1, -1, 1, 1})
+	ys := tensor.FromSlice(4, 1, []float64{1, -1, -1, 1})
+	opt := autodiff.NewAdam(0.05, m.Params())
+	var last float64
+	for i := 0; i < 1500; i++ {
+		tp := autodiff.NewTape()
+		loss := tp.MSE(m.Apply(tp, autodiff.Constant(xs)), ys)
+		tp.Backward(loss)
+		opt.Step()
+		last = loss.Value.Data[0]
+	}
+	if last > 0.05 {
+		t.Fatalf("MLP failed to learn XOR: loss %v", last)
+	}
+}
+
+func TestMLPValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMLP(rand.New(rand.NewSource(1)), 4)
+}
+
+func TestGRUCellStepAndParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := NewGRUCell(rng, 3, 4)
+	if c.Hidden() != 4 || len(c.Params()) != 6 {
+		t.Fatal("gru metadata wrong")
+	}
+	tp := autodiff.NewTape()
+	x := autodiff.Constant(tensor.NewRandom(rng, 2, 3, 1))
+	h := autodiff.Constant(ZeroState(2, 4))
+	h2 := c.Apply(tp, x, h)
+	if h2.Value.Rows != 2 || h2.Value.Cols != 4 {
+		t.Fatalf("shape %dx%d", h2.Value.Rows, h2.Value.Cols)
+	}
+	// Outputs bounded: GRU output is a convex combination of h (0) and tanh.
+	if h2.Value.MaxAbs() > 1 {
+		t.Fatal("GRU output out of range")
+	}
+}
+
+func TestGRUCellLearnsToRemember(t *testing.T) {
+	// Train a GRU (1 step) to copy its input to hidden state.
+	rng := rand.New(rand.NewSource(8))
+	c := NewGRUCell(rng, 1, 1)
+	opt := autodiff.NewAdam(0.05, c.Params())
+	var last float64
+	for i := 0; i < 800; i++ {
+		tp := autodiff.NewTape()
+		x := tensor.FromSlice(4, 1, []float64{0.9, -0.9, 0.5, -0.5})
+		h := autodiff.Constant(ZeroState(4, 1))
+		out := c.Apply(tp, autodiff.Constant(x), h)
+		loss := tp.MSE(out, x)
+		tp.Backward(loss)
+		opt.Step()
+		last = loss.Value.Data[0]
+	}
+	if last > 0.02 {
+		t.Fatalf("GRU failed to learn copy: loss %v", last)
+	}
+}
+
+func TestLSTMCellStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	c := NewLSTMCell(rng, 2, 3)
+	if c.Hidden() != 3 || len(c.Params()) != 8 {
+		t.Fatal("lstm metadata wrong")
+	}
+	tp := autodiff.NewTape()
+	x := autodiff.Constant(tensor.NewRandom(rng, 2, 2, 1))
+	h := autodiff.Constant(ZeroState(2, 3))
+	cell := autodiff.Constant(ZeroState(2, 3))
+	h2, c2 := c.Apply(tp, x, h, cell)
+	if h2.Value.Rows != 2 || c2.Value.Rows != 2 {
+		t.Fatal("shapes wrong")
+	}
+	if h2.Value.MaxAbs() > 1 {
+		t.Fatal("LSTM hidden out of range")
+	}
+}
+
+func TestConvGRUCell(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	adj := adj3()
+	cell := NewConvGRUCell(2, func() Module { return NewGCNConv(rng, 3+2, 2) })
+	if len(cell.Params()) != 6 {
+		t.Fatalf("param count %d", len(cell.Params()))
+	}
+	tp := autodiff.NewTape()
+	convFn := func(m Module, x *autodiff.Node) *autodiff.Node {
+		return m.(*GCNConv).Apply(tp, adj, x)
+	}
+	x := autodiff.Constant(tensor.NewRandom(rng, 3, 3, 1))
+	h := autodiff.Constant(ZeroState(3, 2))
+	h2 := cell.Apply(tp, convFn, x, h)
+	if h2.Value.Rows != 3 || h2.Value.Cols != 2 {
+		t.Fatal("shape wrong")
+	}
+	loss := tp.MSE(h2, tensor.New(3, 2))
+	tp.Backward(loss)
+	for i, p := range cell.Params() {
+		if p.Grad == nil {
+			t.Fatalf("conv-GRU param %d got no gradient", i)
+		}
+	}
+}
+
+func TestConvLSTMCell(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	adj := adj3()
+	cell := NewConvLSTMCell(2, func() Module { return NewGCNConv(rng, 1+2, 2) })
+	if len(cell.Params()) != 8 {
+		t.Fatalf("param count %d", len(cell.Params()))
+	}
+	tp := autodiff.NewTape()
+	convFn := func(m Module, x *autodiff.Node) *autodiff.Node {
+		return m.(*GCNConv).Apply(tp, adj, x)
+	}
+	x := autodiff.Constant(tensor.NewRandom(rng, 3, 1, 1))
+	h := autodiff.Constant(ZeroState(3, 2))
+	c := autodiff.Constant(ZeroState(3, 2))
+	h2, c2 := cell.Apply(tp, convFn, x, h, c)
+	loss := tp.MSE(tp.Add(h2, c2), tensor.New(3, 2))
+	tp.Backward(loss)
+	for i, p := range cell.Params() {
+		if p.Grad == nil {
+			t.Fatalf("conv-LSTM param %d got no gradient", i)
+		}
+	}
+}
+
+func TestCollectParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := NewLinear(rng, 1, 1)
+	b := NewLinear(rng, 1, 1)
+	if got := len(CollectParams(a, b)); got != 4 {
+		t.Fatalf("CollectParams = %d", got)
+	}
+}
+
+func TestRGCNConvShapesAndGrads(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	c := NewRGCNConv(rng, 3, 4, 2)
+	if c.Out() != 4 || c.Relations() != 2 {
+		t.Fatal("metadata wrong")
+	}
+	if len(c.Params()) != 1+2+1 {
+		t.Fatalf("param count %d", len(c.Params()))
+	}
+	typed := []*tensor.CSR{adj3(), adj3()}
+	tp := autodiff.NewTape()
+	x := autodiff.Constant(tensor.NewRandom(rng, 3, 3, 1))
+	y := c.Apply(tp, typed, x)
+	if y.Value.Rows != 3 || y.Value.Cols != 4 {
+		t.Fatalf("shape %dx%d", y.Value.Rows, y.Value.Cols)
+	}
+	loss := tp.MSE(y, tensor.New(3, 4))
+	tp.Backward(loss)
+	for i, p := range c.Params() {
+		if p.Grad == nil {
+			t.Fatalf("param %d detached", i)
+		}
+	}
+}
+
+func TestRGCNConvSkipsMissingRelations(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	c := NewRGCNConv(rng, 2, 2, 3)
+	// Only one adjacency available; empty second one; third missing.
+	empty := tensor.NewCSR(3, 3, nil)
+	tp := autodiff.NewTape()
+	x := autodiff.Constant(tensor.NewRandom(rng, 3, 2, 1))
+	y := c.Apply(tp, []*tensor.CSR{adj3(), empty}, x)
+	if y.Value.Rows != 3 {
+		t.Fatal("shape wrong with partial relations")
+	}
+}

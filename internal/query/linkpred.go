@@ -1,0 +1,181 @@
+package query
+
+import (
+	"math/rand"
+
+	"streamgnn/internal/autodiff"
+	"streamgnn/internal/graph"
+	"streamgnn/internal/metrics"
+	"streamgnn/internal/tensor"
+)
+
+// Pair is one labeled node pair (1 = edge appeared, 0 = negative sample).
+type Pair struct {
+	U, V  int
+	Label float64
+}
+
+// LinkPredTask is the continuous link-prediction workload used for the Stack
+// Overflow and UCI Messages experiments (Table II): at every step t, the
+// embeddings of step t score candidate edges of step t+1; when step t+1
+// arrives, the new edges are the positives and uniformly sampled non-edges
+// the negatives.
+type LinkPredTask struct {
+	// NegPerPos is the number of sampled negatives per positive used for
+	// accuracy/AUC and for supervision pairs.
+	NegPerPos int
+	// RankNegs is the candidate-set size for MRR ranks.
+	RankNegs int
+	// MaxPositives caps the positives evaluated per step.
+	MaxPositives int
+
+	rng      *rand.Rand
+	lastEmb  *tensor.Matrix
+	lastStep int
+
+	recentPairs []Pair
+	scores      []float64
+	labels      []bool
+	ranks       []int
+
+	// replay holds the freshest revealed pair examples: the concatenated
+	// endpoint embeddings the pair was scored from and its 0/1 label. Like
+	// the event replay, it lets every training unit refit the link head on
+	// a balanced minibatch (constants; only the head trains through it).
+	replayEmb    []([]float64)
+	replayLabels []float64
+}
+
+// NewLinkPredTask returns a link-prediction task with standard settings.
+func NewLinkPredTask(seed int64) *LinkPredTask {
+	return &LinkPredTask{
+		NegPerPos:    5,
+		RankNegs:     20,
+		MaxPositives: 64,
+		rng:          rand.New(rand.NewSource(seed)),
+		lastStep:     -1,
+	}
+}
+
+// observeEmbeddings stores the step-t embeddings used to score step-t+1
+// edges at reveal time.
+func (l *LinkPredTask) observeEmbeddings(emb *tensor.Matrix, step int) {
+	l.lastEmb = emb.Clone()
+	l.lastStep = step
+}
+
+func (l *LinkPredTask) pairInput(u, v int) []float64 {
+	ru := tensor.GatherRows(l.lastEmb, []int{u})
+	rv := tensor.GatherRows(l.lastEmb, []int{v})
+	return tensor.ConcatCols(tensor.ConcatCols(ru, rv), tensor.Mul(ru, rv)).Data
+}
+
+func (l *LinkPredTask) pairScore(h *Heads, u, v int) float64 {
+	in := autodiff.Constant(tensor.FromSlice(1, 3*l.lastEmb.Cols, l.pairInput(u, v)))
+	tp := autodiff.NewTape()
+	return h.Link.Apply(tp, in).Value.Data[0]
+}
+
+// reveal evaluates last step's predictions against the edges that actually
+// arrived at `step` and refreshes the supervision pair set.
+func (l *LinkPredTask) reveal(g *graph.Dynamic, step int, h *Heads) {
+	if l.lastEmb == nil || l.lastStep != step-1 {
+		return
+	}
+	n := l.lastEmb.Rows
+	if n < 2 {
+		return
+	}
+	// Positives: edges stamped with this step whose endpoints existed at
+	// prediction time.
+	var pos []Pair
+	for u := 0; u < n && len(pos) < l.MaxPositives; u++ {
+		for _, e := range g.OutEdges(u) {
+			if e.Time == int64(step) && e.To < n {
+				pos = append(pos, Pair{U: u, V: e.To, Label: 1})
+				if len(pos) >= l.MaxPositives {
+					break
+				}
+			}
+		}
+	}
+	if len(pos) == 0 {
+		return
+	}
+	l.recentPairs = l.recentPairs[:0]
+	l.replayEmb = l.replayEmb[:0]
+	l.replayLabels = l.replayLabels[:0]
+	for _, p := range pos {
+		s := l.pairScore(h, p.U, p.V)
+		l.scores = append(l.scores, s)
+		l.labels = append(l.labels, true)
+		l.recentPairs = append(l.recentPairs, p)
+		l.replayEmb = append(l.replayEmb, l.pairInput(p.U, p.V))
+		l.replayLabels = append(l.replayLabels, 1)
+		// Sampled negatives for accuracy/AUC and supervision.
+		for k := 0; k < l.NegPerPos; k++ {
+			v := l.rng.Intn(n)
+			neg := Pair{U: p.U, V: v, Label: 0}
+			l.scores = append(l.scores, l.pairScore(h, neg.U, neg.V))
+			l.labels = append(l.labels, false)
+			l.recentPairs = append(l.recentPairs, neg)
+			l.replayEmb = append(l.replayEmb, l.pairInput(neg.U, neg.V))
+			l.replayLabels = append(l.replayLabels, 0)
+		}
+		// Rank of the true endpoint among RankNegs random candidates.
+		negScores := make([]float64, 0, l.RankNegs)
+		for k := 0; k < l.RankNegs; k++ {
+			negScores = append(negScores, l.pairScore(h, p.U, l.rng.Intn(n)))
+		}
+		l.ranks = append(l.ranks, metrics.RankOf(s, negScores))
+	}
+}
+
+// Scores returns accumulated (score, positive?) evaluation pairs.
+func (l *LinkPredTask) Scores() ([]float64, []bool) { return l.scores, l.labels }
+
+// Ranks returns accumulated 1-based MRR ranks.
+func (l *LinkPredTask) Ranks() []int { return l.ranks }
+
+// RecentPairs returns the supervision pairs from the latest reveal.
+func (l *LinkPredTask) RecentPairs() []Pair { return l.recentPairs }
+
+// EmbeddingRow returns node v's row of the last observed inference
+// embeddings (ok=false before the first observation or for unknown nodes).
+func (l *LinkPredTask) EmbeddingRow(v int) ([]float64, bool) {
+	if l.lastEmb == nil || v < 0 || v >= l.lastEmb.Rows {
+		return nil, false
+	}
+	return l.lastEmb.Row(v), true
+}
+
+// NumEmbedded returns the node count of the last observed embeddings.
+func (l *LinkPredTask) NumEmbedded() int {
+	if l.lastEmb == nil {
+		return 0
+	}
+	return l.lastEmb.Rows
+}
+
+// ReplayBatch samples up to n of the freshest revealed pair examples.
+func (l *LinkPredTask) ReplayBatch(rng *rand.Rand, n int) (emb *tensor.Matrix, labels []float64) {
+	if len(l.replayEmb) == 0 || n <= 0 {
+		return nil, nil
+	}
+	if n > len(l.replayEmb) {
+		n = len(l.replayEmb)
+	}
+	emb = tensor.New(n, len(l.replayEmb[0]))
+	labels = make([]float64, n)
+	for i := 0; i < n; i++ {
+		j := rng.Intn(len(l.replayEmb))
+		copy(emb.Row(i), l.replayEmb[j])
+		labels[i] = l.replayLabels[j]
+	}
+	return emb, labels
+}
+
+// ResetOutcomes clears accumulated evaluation state.
+func (l *LinkPredTask) ResetOutcomes() {
+	l.scores, l.labels, l.ranks = nil, nil, nil
+}

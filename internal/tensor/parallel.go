@@ -1,0 +1,60 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallelism for the two dominant kernels (MatMul, SpMM) is opt-in and
+// deterministic: work is sharded by row, so results are bit-identical to the
+// serial path regardless of worker count. Off by default — at the library's
+// typical partition sizes the goroutine overhead usually exceeds the win;
+// enable it for large full-graph workloads (see BenchmarkParallelKernels).
+
+var parWorkers int64 = 1
+
+// SetParallelism sets the worker count for large matrix kernels. n <= 1
+// restores serial execution; n > NumCPU is clamped.
+func SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if max := runtime.NumCPU(); n > max {
+		n = max
+	}
+	atomic.StoreInt64(&parWorkers, int64(n))
+}
+
+// Parallelism returns the current kernel worker count.
+func Parallelism() int { return int(atomic.LoadInt64(&parWorkers)) }
+
+// parThreshold is the minimum per-worker row count worth a goroutine.
+const parThreshold = 64
+
+// parRange runs f over [0, n) shards. Serial when parallelism is off or the
+// problem is too small.
+func parRange(n int, f func(lo, hi int)) {
+	workers := Parallelism()
+	if workers <= 1 || n < 2*parThreshold {
+		f(0, n)
+		return
+	}
+	if n/workers < parThreshold {
+		workers = n / parThreshold
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

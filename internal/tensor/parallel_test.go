@@ -1,0 +1,94 @@
+package tensor
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+func TestSetParallelismClamps(t *testing.T) {
+	defer SetParallelism(1)
+	SetParallelism(0)
+	if Parallelism() != 1 {
+		t.Fatalf("Parallelism = %d, want 1", Parallelism())
+	}
+	SetParallelism(1 << 20)
+	if Parallelism() != runtime.NumCPU() {
+		t.Fatalf("Parallelism = %d, want NumCPU", Parallelism())
+	}
+}
+
+// Determinism: parallel kernels produce bit-identical results.
+func TestParallelKernelsMatchSerial(t *testing.T) {
+	defer SetParallelism(1)
+	rng := rand.New(rand.NewSource(1))
+	a := NewRandom(rng, 300, 40, 1)
+	b := NewRandom(rng, 40, 24, 1)
+	c := randomCSR(rng, 300, 300, 0.02)
+	x := NewRandom(rng, 300, 24, 1)
+
+	SetParallelism(1)
+	mmSerial := MatMul(a, b)
+	spSerial := SpMM(c, x)
+	SetParallelism(4)
+	mmPar := MatMul(a, b)
+	spPar := SpMM(c, x)
+	if !mmSerial.Equal(mmPar) {
+		t.Fatal("parallel MatMul differs from serial")
+	}
+	if !spSerial.Equal(spPar) {
+		t.Fatal("parallel SpMM differs from serial")
+	}
+}
+
+func TestParRangeCoversEverything(t *testing.T) {
+	defer SetParallelism(1)
+	SetParallelism(4)
+	n := 1000
+	hit := make([]int32, n)
+	parRange(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			hit[i]++
+		}
+	})
+	for i, h := range hit {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+	// Small problems stay serial but still cover the range.
+	small := make([]int32, 10)
+	parRange(10, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			small[i]++
+		}
+	})
+	for i, h := range small {
+		if h != 1 {
+			t.Fatalf("small index %d visited %d times", i, h)
+		}
+	}
+}
+
+// BenchmarkParallelKernels shows when SetParallelism pays off.
+func BenchmarkParallelKernels(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	a := NewRandom(rng, 2000, 64, 1)
+	w := NewRandom(rng, 64, 64, 1)
+	for _, workers := range []int{1, 4} {
+		b.Run(benchName("matmul", workers), func(b *testing.B) {
+			SetParallelism(workers)
+			defer SetParallelism(1)
+			for i := 0; i < b.N; i++ {
+				MatMul(a, w)
+			}
+		})
+	}
+}
+
+func benchName(op string, workers int) string {
+	if workers == 1 {
+		return op + "/serial"
+	}
+	return op + "/parallel"
+}

@@ -1,0 +1,111 @@
+package tensor
+
+import "fmt"
+
+// CSR is a compressed-sparse-row matrix with float64 values. It is used for
+// (normalized) graph adjacency matrices; values do not participate in
+// automatic differentiation (the adjacency is a constant of each snapshot).
+type CSR struct {
+	NRows, NCols int
+	RowPtr       []int
+	ColIdx       []int
+	Val          []float64
+}
+
+// NewCSR builds a CSR matrix from per-row (col, val) entry lists. Entries
+// within a row keep their given order; duplicate columns are allowed and sum
+// under multiplication.
+func NewCSR(nrows, ncols int, entries [][]CSREntry) *CSR {
+	c := &CSR{NRows: nrows, NCols: ncols, RowPtr: make([]int, nrows+1)}
+	nnz := 0
+	for r := 0; r < nrows; r++ {
+		if r < len(entries) {
+			nnz += len(entries[r])
+		}
+		c.RowPtr[r+1] = nnz
+	}
+	c.ColIdx = make([]int, 0, nnz)
+	c.Val = make([]float64, 0, nnz)
+	for r := 0; r < nrows && r < len(entries); r++ {
+		for _, e := range entries[r] {
+			if e.Col < 0 || e.Col >= ncols {
+				panic(fmt.Sprintf("tensor: CSR column %d out of range [0,%d)", e.Col, ncols))
+			}
+			c.ColIdx = append(c.ColIdx, e.Col)
+			c.Val = append(c.Val, e.Val)
+		}
+	}
+	return c
+}
+
+// CSREntry is one stored (column, value) pair of a CSR row.
+type CSREntry struct {
+	Col int
+	Val float64
+}
+
+// NNZ returns the number of stored entries.
+func (c *CSR) NNZ() int { return len(c.ColIdx) }
+
+// RowNNZ returns the number of stored entries in row r.
+func (c *CSR) RowNNZ(r int) int { return c.RowPtr[r+1] - c.RowPtr[r] }
+
+// SpMM returns c·x for dense x.
+func SpMM(c *CSR, x *Matrix) *Matrix {
+	if c.NCols != x.Rows {
+		panic(fmt.Sprintf("tensor: SpMM inner mismatch %dx%d · %dx%d", c.NRows, c.NCols, x.Rows, x.Cols))
+	}
+	out := New(c.NRows, x.Cols)
+	parRange(c.NRows, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			orow := out.Row(r)
+			for p := c.RowPtr[r]; p < c.RowPtr[r+1]; p++ {
+				v := c.Val[p]
+				xrow := x.Row(c.ColIdx[p])
+				for j, xv := range xrow {
+					orow[j] += v * xv
+				}
+			}
+		}
+	})
+	return out
+}
+
+// SpMMTrans returns cᵀ·x for dense x (used for gradients through SpMM).
+func SpMMTrans(c *CSR, x *Matrix) *Matrix {
+	if c.NRows != x.Rows {
+		panic(fmt.Sprintf("tensor: SpMMTrans inner mismatch (%dx%d)ᵀ · %dx%d", c.NRows, c.NCols, x.Rows, x.Cols))
+	}
+	out := New(c.NCols, x.Cols)
+	for r := 0; r < c.NRows; r++ {
+		xrow := x.Row(r)
+		for p := c.RowPtr[r]; p < c.RowPtr[r+1]; p++ {
+			v := c.Val[p]
+			orow := out.Row(c.ColIdx[p])
+			for j, xv := range xrow {
+				orow[j] += v * xv
+			}
+		}
+	}
+	return out
+}
+
+// Dense converts c to a dense matrix (testing helper; duplicates sum).
+func (c *CSR) Dense() *Matrix {
+	out := New(c.NRows, c.NCols)
+	for r := 0; r < c.NRows; r++ {
+		for p := c.RowPtr[r]; p < c.RowPtr[r+1]; p++ {
+			out.Data[r*c.NCols+c.ColIdx[p]] += c.Val[p]
+		}
+	}
+	return out
+}
+
+// Identity returns the n×n identity as CSR.
+func Identity(n int) *CSR {
+	entries := make([][]CSREntry, n)
+	for i := range entries {
+		entries[i] = []CSREntry{{Col: i, Val: 1}}
+	}
+	return NewCSR(n, n, entries)
+}

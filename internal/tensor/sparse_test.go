@@ -1,0 +1,90 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomCSR(rng *rand.Rand, nrows, ncols int, density float64) *CSR {
+	entries := make([][]CSREntry, nrows)
+	for r := 0; r < nrows; r++ {
+		for c := 0; c < ncols; c++ {
+			if rng.Float64() < density {
+				entries[r] = append(entries[r], CSREntry{Col: c, Val: rng.NormFloat64()})
+			}
+		}
+	}
+	return NewCSR(nrows, ncols, entries)
+}
+
+func TestCSRDenseRoundTrip(t *testing.T) {
+	entries := [][]CSREntry{
+		{{Col: 1, Val: 2}, {Col: 2, Val: 3}},
+		{},
+		{{Col: 0, Val: -1}},
+	}
+	c := NewCSR(3, 3, entries)
+	if c.NNZ() != 3 {
+		t.Fatalf("NNZ = %d", c.NNZ())
+	}
+	if c.RowNNZ(0) != 2 || c.RowNNZ(1) != 0 || c.RowNNZ(2) != 1 {
+		t.Fatal("RowNNZ wrong")
+	}
+	want := FromSlice(3, 3, []float64{0, 2, 3, 0, 0, 0, -1, 0, 0})
+	if !c.Dense().Equal(want) {
+		t.Fatalf("Dense = %v", c.Dense())
+	}
+}
+
+func TestSpMMMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, m, k := 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(4)
+		c := randomCSR(rng, n, m, 0.4)
+		x := NewRandom(rng, m, k, 2)
+		return SpMM(c, x).AllClose(MatMul(c.Dense(), x), 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpMMTransMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, m, k := 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(4)
+		c := randomCSR(rng, n, m, 0.4)
+		x := NewRandom(rng, n, k, 2)
+		return SpMMTrans(c, x).AllClose(MatMul(Transpose(c.Dense()), x), 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdentityCSR(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := NewRandom(rng, 5, 3, 1)
+	if !SpMM(Identity(5), x).AllClose(x, 1e-12) {
+		t.Fatal("I·x != x")
+	}
+}
+
+func TestCSRDuplicateColumnsSum(t *testing.T) {
+	c := NewCSR(1, 2, [][]CSREntry{{{Col: 0, Val: 1}, {Col: 0, Val: 2}}})
+	x := FromSlice(2, 1, []float64{10, 0})
+	got := SpMM(c, x)
+	if got.At(0, 0) != 30 {
+		t.Fatalf("duplicate columns should sum: got %v", got.At(0, 0))
+	}
+}
+
+func TestCSRColumnOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range column")
+		}
+	}()
+	NewCSR(1, 1, [][]CSREntry{{{Col: 5, Val: 1}}})
+}

@@ -1,0 +1,394 @@
+// Package tensor provides dense row-major float64 matrices and the small set
+// of linear-algebra primitives the rest of the library is built on.
+//
+// The package also maintains a process-wide allocation meter (see meter.go)
+// used by the benchmark harness to report the peak working-set size of a
+// training strategy in a machine-independent way.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major matrix of float64 values.
+//
+// The zero value is an empty 0x0 matrix. Matrices returned by New are backed
+// by a single contiguous slice; Row returns views sharing that storage.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New returns a zeroed rows×cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
+	}
+	recordAlloc(rows * cols)
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (row-major) in a rows×cols matrix without copying.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: FromSlice got %d values for %dx%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// NewRandom returns a rows×cols matrix with entries drawn uniformly from
+// [-scale, scale] using rng. Glorot-style initialization passes
+// scale = sqrt(6/(fanIn+fanOut)).
+func NewRandom(rng *rand.Rand, rows, cols int, scale float64) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * scale
+	}
+	return m
+}
+
+// Glorot returns a rows×cols matrix with Glorot/Xavier uniform initialization.
+func Glorot(rng *rand.Rand, rows, cols int) *Matrix {
+	return NewRandom(rng, rows, cols, math.Sqrt(6.0/float64(rows+cols)))
+}
+
+// At returns the element at (r, c).
+func (m *Matrix) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set stores v at (r, c).
+func (m *Matrix) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Row returns a view of row r sharing the matrix storage.
+func (m *Matrix) Row(r int) []float64 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero sets every element of m to zero.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element of m to v.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// Equal reports whether m and o have identical shape and elements.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		if v != o.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AllClose reports whether m and o have identical shape and elementwise
+// absolute differences no greater than tol.
+func (m *Matrix) AllClose(o *Matrix, tol float64) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		if math.Abs(v-o.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders small matrices for debugging.
+func (m *Matrix) String() string {
+	s := fmt.Sprintf("Matrix %dx%d", m.Rows, m.Cols)
+	if m.Rows*m.Cols <= 64 {
+		s += " ["
+		for r := 0; r < m.Rows; r++ {
+			if r > 0 {
+				s += "; "
+			}
+			for c := 0; c < m.Cols; c++ {
+				if c > 0 {
+					s += " "
+				}
+				s += fmt.Sprintf("%.4g", m.At(r, c))
+			}
+		}
+		s += "]"
+	}
+	return s
+}
+
+func shapeCheck(op string, a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+// MatMul returns a·b.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul inner mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	parRange(a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.Row(k)
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	})
+	return out
+}
+
+// MatMulTransB returns a·bᵀ.
+func MatMulTransB(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var s float64
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// MatMulTransA returns aᵀ·b.
+func MatMulTransA(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTransA inner mismatch (%dx%d)ᵀ · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Cols, b.Cols)
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Row(i)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns mᵀ.
+func Transpose(m *Matrix) *Matrix {
+	out := New(m.Cols, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for c, v := range row {
+			out.Data[c*m.Rows+r] = v
+		}
+	}
+	return out
+}
+
+// Add returns a+b.
+func Add(a, b *Matrix) *Matrix {
+	shapeCheck("Add", a, b)
+	out := New(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = v + b.Data[i]
+	}
+	return out
+}
+
+// Sub returns a−b.
+func Sub(a, b *Matrix) *Matrix {
+	shapeCheck("Sub", a, b)
+	out := New(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = v - b.Data[i]
+	}
+	return out
+}
+
+// Mul returns the Hadamard (elementwise) product a∘b.
+func Mul(a, b *Matrix) *Matrix {
+	shapeCheck("Mul", a, b)
+	out := New(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = v * b.Data[i]
+	}
+	return out
+}
+
+// Scale returns s·m.
+func Scale(m *Matrix, s float64) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = v * s
+	}
+	return out
+}
+
+// AddInPlace adds b into a.
+func AddInPlace(a, b *Matrix) {
+	shapeCheck("AddInPlace", a, b)
+	for i, v := range b.Data {
+		a.Data[i] += v
+	}
+}
+
+// AddScaledInPlace adds s·b into a.
+func AddScaledInPlace(a, b *Matrix, s float64) {
+	shapeCheck("AddScaledInPlace", a, b)
+	for i, v := range b.Data {
+		a.Data[i] += s * v
+	}
+}
+
+// AddRowVector returns m with the 1×cols row vector v added to every row.
+func AddRowVector(m, v *Matrix) *Matrix {
+	if v.Rows != 1 || v.Cols != m.Cols {
+		panic(fmt.Sprintf("tensor: AddRowVector needs 1x%d, got %dx%d", m.Cols, v.Rows, v.Cols))
+	}
+	out := New(m.Rows, m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		orow := out.Row(r)
+		for c, x := range row {
+			orow[c] = x + v.Data[c]
+		}
+	}
+	return out
+}
+
+// Apply returns f applied elementwise to m.
+func Apply(m *Matrix, f func(float64) float64) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = f(v)
+	}
+	return out
+}
+
+// Sum returns the sum of all elements.
+func (m *Matrix) Sum() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the mean of all elements (0 for an empty matrix).
+func (m *Matrix) Mean() float64 {
+	if len(m.Data) == 0 {
+		return 0
+	}
+	return m.Sum() / float64(len(m.Data))
+}
+
+// MaxAbs returns the largest absolute element (0 for an empty matrix).
+func (m *Matrix) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// Norm2 returns the Frobenius norm of m.
+func (m *Matrix) Norm2() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// GatherRows returns the matrix whose i-th row is m's rows[i]-th row.
+func GatherRows(m *Matrix, rows []int) *Matrix {
+	out := New(len(rows), m.Cols)
+	for i, r := range rows {
+		copy(out.Row(i), m.Row(r))
+	}
+	return out
+}
+
+// ScatterRows copies src's rows into dst at the given destination indices.
+func ScatterRows(dst, src *Matrix, rows []int) {
+	if src.Rows != len(rows) || src.Cols != dst.Cols {
+		panic(fmt.Sprintf("tensor: ScatterRows shape mismatch src %dx%d rows %d dst cols %d",
+			src.Rows, src.Cols, len(rows), dst.Cols))
+	}
+	for i, r := range rows {
+		copy(dst.Row(r), src.Row(i))
+	}
+}
+
+// ConcatCols returns [a | b], the column-wise concatenation.
+func ConcatCols(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: ConcatCols row mismatch %d vs %d", a.Rows, b.Rows))
+	}
+	out := New(a.Rows, a.Cols+b.Cols)
+	for r := 0; r < a.Rows; r++ {
+		copy(out.Row(r)[:a.Cols], a.Row(r))
+		copy(out.Row(r)[a.Cols:], b.Row(r))
+	}
+	return out
+}
+
+// SliceCols returns the column range [from, to) of m as a new matrix.
+func SliceCols(m *Matrix, from, to int) *Matrix {
+	if from < 0 || to > m.Cols || from > to {
+		panic(fmt.Sprintf("tensor: SliceCols [%d,%d) of %d cols", from, to, m.Cols))
+	}
+	out := New(m.Rows, to-from)
+	for r := 0; r < m.Rows; r++ {
+		copy(out.Row(r), m.Row(r)[from:to])
+	}
+	return out
+}
+
+// Sigmoid is the logistic function.
+func Sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// ClipInPlace clamps every element of m to [-c, c].
+func ClipInPlace(m *Matrix, c float64) {
+	for i, v := range m.Data {
+		if v > c {
+			m.Data[i] = c
+		} else if v < -c {
+			m.Data[i] = -c
+		}
+	}
+}

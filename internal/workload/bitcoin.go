@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"math/rand"
+
+	"streamgnn/internal/graph"
+	"streamgnn/internal/query"
+	"streamgnn/internal/stream"
+)
+
+// Bitcoin generates the Elliptic-style transaction stream: transactions are
+// nodes carrying features, Bitcoin flows between transactions are dynamic
+// edges, and each transaction is illicit or licit (the self-supervised node
+// label). The supervised workload monitors, per region hub, the number of
+// flows between licit and illicit transactions in the next step.
+//
+// Drift: the hidden illicitness feature is sign-modulated by the current
+// regime, so the feature→label rule inverts at every regime change; hot
+// regions carry most transaction volume.
+func Bitcoin(cfg GenConfig) *Dataset {
+	cfg = cfg.withDefaults(12)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	const (
+		regions = 10
+		hot     = 3
+		featDim = 8
+	)
+	proc := newRegimeProcess(rng, regions, hot, cfg.DriftPeriod)
+	gains := newGainSchedule(rng, cfg.DriftPeriod)
+	levels := newLevelSchedule(rng, cfg.DriftPeriod)
+
+	d := &Dataset{Name: "Bitcoin", FeatDim: featDim, Steps: cfg.Steps}
+	truth := newTruthTable()
+
+	nextID := 0
+	newNode := func(events *[]stream.Event, feat []float64) int {
+		*events = append(*events, stream.AddNode{Type: 0, Feat: feat})
+		id := nextID
+		nextID++
+		return id
+	}
+
+	// Step 0: one hub per region plus a few seed transactions.
+	var ev []stream.Event
+	hubs := make([]int, regions)
+	recent := make([][]int, regions) // recent transactions per region
+	illicit := make(map[int]bool)
+	for r := 0; r < regions; r++ {
+		hubs[r] = newNode(&ev, hubFeatures(r, 0, 0))
+		recent[r] = []int{hubs[r]}
+	}
+	batches := []stream.Batch{{Step: 0, Events: ev}}
+
+	perStep := cfg.scaled(8)
+	for step := 1; step < cfg.Steps; step++ {
+		gain := gains.at(step)
+		level := levels.at(step)
+		act := proc.advance()
+		ev = nil
+		crossFlows := make([]int, regions)
+		totalFlows := make([]int, regions)
+		for i := 0; i < perStep; i++ {
+			r := weightedPick(rng, act)
+			// Hidden illicitness; the observable feature is sign-modulated
+			// by the regime, so stale models mispredict after a flip.
+			z := 1.0
+			if rng.Float64() < 0.25+0.4*act[r] { // hot regions breed illicit txs
+				z = -1
+			}
+			feat := []float64{
+				act[r]*gain + 0.05*rng.NormFloat64(), // activity through the drifting gain
+				rng.NormFloat64() * 0.1,
+				z * sgn(gain),    // illicitness observed through the gain's sign
+				float64(r%3) - 1, // coarse region hash
+				float64(r/3) - 1,
+				rng.Float64(), // amount
+				rng.NormFloat64() * 0.1,
+				1,
+			}
+			id := newNode(&ev, feat)
+			isIllicit := z < 0
+			illicit[id] = isIllicit
+			ev = append(ev, stream.SetLabel{V: id, Label: b2f(isIllicit)})
+			// Flows to recent transactions, mostly within the region.
+			nFlows := 1 + rng.Intn(3)
+			for f := 0; f < nFlows; f++ {
+				tr := r
+				if rng.Float64() < 0.1 {
+					tr = rng.Intn(regions)
+				}
+				peer := recent[tr][rng.Intn(len(recent[tr]))]
+				ev = append(ev, stream.AddEdge{U: id, V: peer, Type: 0, Time: int64(step), Label: stream.NoLabel()})
+				totalFlows[tr]++
+				if illicit[peer] != isIllicit {
+					crossFlows[tr]++
+				}
+			}
+			recent[r] = append(recent[r], id)
+			if len(recent[r]) > 20 {
+				recent[r] = recent[r][1:]
+			}
+		}
+		// Refresh hub features so anchors observe current region state
+		// (through the drifting gain; truths stay in fixed units).
+		for r := 0; r < regions; r++ {
+			ev = append(ev, stream.SetFeature{V: hubs[r], Feat: hubFeatures(r, act[r]*gain, gain)})
+			// Monitored value: severity-weighted illicit-flow intensity of
+			// the region (the smooth rate driving the realized flows above;
+			// raw counts are a noisy draw from it).
+			truth.set(step, hubs[r], 8*act[r]*level)
+		}
+		batches = append(batches, stream.Batch{Step: step, Events: ev})
+	}
+
+	d.Batches = batches
+	anchors := append([]int(nil), hubs...)
+	d.Queries = []*query.EventQuery{{
+		Name:      "illicit-licit flows per region",
+		Anchors:   anchors,
+		Delta:     1,
+		Threshold: 6,
+		Labeler: func(_ *graph.Dynamic, anchor, step int) (float64, bool) {
+			return truth.lookup(anchor, step)
+		},
+	}}
+	return d
+}
+
+// hubFeatures encodes the observed (gain-modulated) region activity; the
+// gain itself is NOT observable, which is what forces online re-fitting.
+func hubFeatures(r int, observedActivity, gain float64) []float64 {
+	_ = gain // deliberately not exposed
+	return []float64{observedActivity, 0, 0, float64(r%3) - 1, float64(r/3) - 1, 0, 0, 1}
+}
+
+func sgn(x float64) float64 {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func weightedPick(rng *rand.Rand, w []float64) int {
+	var total float64
+	for _, x := range w {
+		total += x
+	}
+	if total <= 0 {
+		return rng.Intn(len(w))
+	}
+	r := rng.Float64() * total
+	for i, x := range w {
+		r -= x
+		if r < 0 {
+			return i
+		}
+	}
+	return len(w) - 1
+}

@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"streamgnn/internal/graph"
+	"streamgnn/internal/query"
+	"streamgnn/internal/stream"
+)
+
+// Taxi generates the NYC-taxi-style heterogeneous stream: a fixed grid of
+// location nodes plus trip nodes arriving every step, each trip connecting
+// its pickup and dropoff grid cells with two temporal edges. Trip distance
+// is the self-supervised node label; the supervised workload monitors the
+// fraction of slow trips touching anchor grid cells in the next step.
+//
+// Drift: per-cell congestion follows the regime process (rush epochs move
+// around the city); a sliding window expires old trip edges, and the node
+// set grows without bound — this is the generator that stresses full-graph
+// training the hardest, mirroring the Taxi rows of Table I.
+func Taxi(cfg GenConfig) *Dataset {
+	cfg = cfg.withDefaults(10)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	const (
+		side    = 6
+		cells   = side * side
+		hot     = 6
+		featDim = 7
+	)
+	proc := newRegimeProcess(rng, cells, hot, cfg.DriftPeriod)
+	gains := newGainSchedule(rng, cfg.DriftPeriod)
+
+	d := &Dataset{Name: "Taxi", FeatDim: featDim, Steps: cfg.Steps, WindowSteps: 6}
+	truth := newTruthTable()
+
+	cellFeat := func(c int, congestion float64) []float64 {
+		return []float64{
+			1, // grid marker
+			congestion,
+			float64(c%side) / side,
+			float64(c/side) / side,
+			0, 0, 1,
+		}
+	}
+
+	var ev []stream.Event
+	nextID := 0
+	for c := 0; c < cells; c++ {
+		ev = append(ev, stream.AddNode{Type: 0, Feat: cellFeat(c, 0.3)})
+		nextID++
+	}
+	batches := []stream.Batch{{Step: 0, Events: ev}}
+
+	perStep := cfg.scaled(22)
+	for step := 1; step < cfg.Steps; step++ {
+		gain := gains.at(step)
+		congestion := proc.advance()
+		ev = nil
+		slow := make([]float64, cells)
+		total := make([]float64, cells)
+		for i := 0; i < perStep; i++ {
+			pick := weightedPick(rng, congestion)
+			drop := rng.Intn(cells)
+			dist := gridDist(pick, drop, side) + 0.3*rng.Float64()
+			// Speed falls with congestion at both endpoints.
+			cong := (congestion[pick] + congestion[drop]) / 2
+			speed := clamp01(1.1-cong) * (0.7 + 0.6*rng.Float64())
+			duration := dist / math.Max(speed, 0.05)
+			// Meter readings pass through the drifting gain; labels stay in
+			// true units.
+			feat := []float64{
+				0, // trip marker
+				cong*gain + 0.05*rng.NormFloat64(),
+				dist * gain / float64(side),
+				speed * gain,
+				duration / 10,
+				math.Sin(float64(step) / 4),
+				1,
+			}
+			trip := nextID
+			nextID++
+			ev = append(ev, stream.AddNode{Type: 1, Feat: feat})
+			ev = append(ev, stream.SetLabel{V: trip, Label: dist / float64(side)})
+			ev = append(ev, stream.AddEdge{U: trip, V: pick, Type: 0, Time: int64(step), Label: stream.NoLabel()})
+			ev = append(ev, stream.AddEdge{U: trip, V: drop, Type: 1, Time: int64(step), Label: stream.NoLabel()})
+			isSlow := speed < 0.5
+			for _, c := range []int{pick, drop} {
+				total[c]++
+				if isSlow {
+					slow[c]++
+				}
+			}
+		}
+		for c := 0; c < cells; c++ {
+			// Only cells touched by trips this step get refreshed, keeping
+			// the update set U informative.
+			if total[c] > 0 {
+				ev = append(ev, stream.SetFeature{V: c, Feat: cellFeat(c, congestion[c]*gain)})
+			}
+			// Monitored value: the cell's slow-trip intensity — the smooth
+			// congestion-driven rate behind the realized slow counts.
+			truth.set(step, c, 15*congestion[c]*congestion[c])
+		}
+		batches = append(batches, stream.Batch{Step: step, Events: ev})
+	}
+
+	d.Batches = batches
+	// Anchors: all hot cells plus a spread of calm ones.
+	anchors := proc.hotRegions()
+	seen := make(map[int]bool)
+	for _, a := range anchors {
+		seen[a] = true
+	}
+	for c := 0; c < cells && len(anchors) < 14; c += cells / 10 {
+		if !seen[c] {
+			anchors = append(anchors, c)
+		}
+	}
+	d.Queries = []*query.EventQuery{{
+		Name:      "slow trips per grid cell",
+		Anchors:   anchors,
+		Delta:     1,
+		Threshold: 4,
+		Labeler: func(_ *graph.Dynamic, anchor, step int) (float64, bool) {
+			return truth.lookup(anchor, step)
+		},
+	}}
+	return d
+}
+
+func gridDist(a, b, side int) float64 {
+	ar, ac := a/side, a%side
+	br, bc := b/side, b%side
+	return math.Abs(float64(ar-br)) + math.Abs(float64(ac-bc))
+}
