@@ -3,6 +3,7 @@
 //	streambench -table 1 [-runs 10]   # Table I  (event monitoring)
 //	streambench -table 2 [-runs 10]   # Table II (link prediction)
 //	streambench -table 3 [-runs 10]   # Table III (parameter study)
+//	streambench -hotpath              # partition cache + parallel pairs
 //
 // Use -steps and -scale to trade fidelity for speed.
 package main
@@ -18,12 +19,23 @@ import (
 func main() {
 	table := flag.Int("table", 1, "which table to reproduce (1, 2 or 3), or 0 with -scaling")
 	scaling := flag.Bool("scaling", false, "run the scaling study instead of a table")
+	hotpath := flag.Bool("hotpath", false, "benchmark the adaptive hot path (cache + workers) instead of a table")
 	runs := flag.Int("runs", 10, "repetitions per cell (the paper uses 10)")
 	steps := flag.Int("steps", 40, "stream steps per run")
 	scale := flag.Float64("scale", 1, "workload scale factor")
 	flag.Parse()
 
 	var err error
+	if *hotpath {
+		fmt.Printf("HOT PATH: partition cache and parallel pair evaluation (%d timed steps)\n\n", *steps)
+		rep, herr := bench.RunHotPath("Bitcoin", "TGCN", *steps, 1)
+		if herr != nil {
+			fmt.Fprintln(os.Stderr, "streambench:", herr)
+			os.Exit(1)
+		}
+		fmt.Print(rep.String())
+		return
+	}
 	if *scaling {
 		fmt.Printf("SCALING STUDY: full vs KDE training cost as the Taxi stream grows (%d steps)\n\n", *steps)
 		pts, serr := bench.RunScaling([]float64{0.5, 1, 2, 4}, *steps, 1)

@@ -16,15 +16,58 @@ import (
 	"streamgnn/internal/tensor"
 )
 
+// opKind selects a node's backward rule. Backward logic lives in a single
+// switch (runBack) over these codes rather than per-node closures: closures
+// capture their environment on the heap for every recorded op, which on the
+// training hot path costs an allocation per op per unit; opcode dispatch
+// stores the same state in the node shell, which Release recycles.
+type opKind uint8
+
+const (
+	opNone opKind = iota // leaf: Param, Constant, Owned scratch
+	opMatMul
+	opSpMM
+	opAdd
+	opSub
+	opMul
+	opScale
+	opAddBias
+	opSigmoid
+	opTanh
+	opReLU
+	opOneMinus
+	opConcatCols
+	opGatherRows
+	opMean
+	opMSE
+	opBCEWithLogits
+	opAddScalarMul
+	opSoftmax
+	opCrossEntropy
+	opDropout
+	opSum
+)
+
 // Node is one value in the computation graph.
 type Node struct {
 	Value *tensor.Matrix
 	Grad  *tensor.Matrix
 
 	requiresGrad bool
-	back         func()
+	op           opKind
 	parents      []*Node
 	visited      bool
+
+	// Backward-rule state (meaning depends on op): aux holds a matrix the
+	// rule reads (MSE residual, BCE target, dropout mask, ...), auxCSR the
+	// sparse operand of SpMM, auxF a scalar (Scale/AddScalarMul factor), and
+	// auxInts an index list (GatherRows rows, CrossEntropy classes). aux
+	// matrices are either tape-owned (recycled via their own record) or
+	// caller-owned; they are never recycled through this field.
+	aux     *tensor.Matrix
+	auxCSR  *tensor.CSR
+	auxF    float64
+	auxInts []int
 }
 
 // RequiresGrad reports whether gradients are accumulated into this node.
@@ -33,6 +76,12 @@ func (n *Node) RequiresGrad() bool { return n.requiresGrad }
 // Tape records a forward computation for reverse-mode differentiation.
 type Tape struct {
 	nodes []*Node
+	// free holds node shells recovered by Release; newNode reuses them (and
+	// their parents/auxInts slice capacity) so a reused tape records a whole
+	// forward pass with almost no allocation.
+	free []*Node
+	// order is Backward's topological-sort scratch, reused across calls.
+	order []*Node
 }
 
 // NewTape returns an empty tape.
@@ -40,6 +89,32 @@ func NewTape() *Tape { return &Tape{} }
 
 // Reset discards all recorded operations so the tape can be reused.
 func (t *Tape) Reset() { t.nodes = t.nodes[:0] }
+
+// Release recycles every buffer recorded on the tape back into the tensor
+// pool and resets the tape, keeping the node shells for reuse by the next
+// forward pass on this tape. Only op outputs are recycled: Param and Constant
+// nodes are never recorded, so persistent parameters, their gradients, and
+// caller-owned constants are untouched. Every recorded op allocates a fresh
+// output matrix (no op aliases its parents' storage), so a buffer is released
+// at most once. Call only when nothing retains the tape's values — e.g. after
+// the optimizer step of a training unit, never on the inference tape whose
+// embeddings outlive the step.
+func (t *Tape) Release() {
+	for _, n := range t.nodes {
+		tensor.Recycle(n.Value)
+		if n.Grad != nil {
+			tensor.Recycle(n.Grad)
+			n.Grad = nil
+		}
+		n.Value = nil
+		n.op = opNone
+		n.aux = nil
+		n.auxCSR = nil
+		n.parents = n.parents[:0]
+	}
+	t.free = append(t.free, t.nodes...)
+	t.nodes = t.nodes[:0]
+}
 
 // Len returns the number of recorded nodes (for tests).
 func (t *Tape) Len() int { return len(t.nodes) }
@@ -55,8 +130,44 @@ func Constant(v *tensor.Matrix) *Node {
 	return &Node{Value: v}
 }
 
-func (t *Tape) record(n *Node) *Node {
+// alloc returns a recorded node shell, reusing one recovered by Release.
+func (t *Tape) alloc(v *tensor.Matrix, reqGrad bool) *Node {
+	var n *Node
+	if k := len(t.free); k > 0 {
+		n = t.free[k-1]
+		t.free = t.free[:k-1]
+		n.Value = v
+		n.requiresGrad = reqGrad
+	} else {
+		n = &Node{Value: v, requiresGrad: reqGrad}
+	}
 	t.nodes = append(t.nodes, n)
+	return n
+}
+
+// Owned registers a gradient-free scratch matrix on the tape so Release
+// recycles its buffer along with the op outputs. Use only for matrices built
+// fresh for this forward pass (loss targets, gathered features, sampled
+// batches) that nothing reads after Backward. Returns m for chaining.
+func (t *Tape) Owned(m *tensor.Matrix) *tensor.Matrix {
+	t.alloc(m, false)
+	return m
+}
+
+// newNode1 records a node with one parent (fixed arity avoids a variadic
+// argument slice on the hot path).
+func (t *Tape) newNode1(op opKind, v *tensor.Matrix, reqGrad bool, p *Node) *Node {
+	n := t.alloc(v, reqGrad)
+	n.op = op
+	n.parents = append(n.parents, p)
+	return n
+}
+
+// newNode2 records a node with two parents.
+func (t *Tape) newNode2(op opKind, v *tensor.Matrix, reqGrad bool, p1, p2 *Node) *Node {
+	n := t.alloc(v, reqGrad)
+	n.op = op
+	n.parents = append(n.parents, p1, p2)
 	return n
 }
 
@@ -82,68 +193,64 @@ func (t *Tape) Backward(root *Node) {
 	if root.Value.Rows != 1 || root.Value.Cols != 1 {
 		panic(fmt.Sprintf("autodiff: Backward root must be 1x1, got %dx%d", root.Value.Rows, root.Value.Cols))
 	}
-	// Topological order via DFS over recorded nodes.
-	order := make([]*Node, 0, len(t.nodes))
+	// Topological order via DFS over recorded nodes; the order slice is tape
+	// scratch reused across Backward calls.
+	t.order = t.order[:0]
 	var visit func(n *Node)
 	visit = func(n *Node) {
-		if n.visited || n.back == nil {
+		if n.visited || n.op == opNone {
 			return
 		}
 		n.visited = true
 		for _, p := range n.parents {
 			visit(p)
 		}
-		order = append(order, n)
+		t.order = append(t.order, n)
 	}
 	visit(root)
-	for _, n := range order {
+	for _, n := range t.order {
 		n.visited = false
 	}
 	ensureGrad(root)
 	root.Grad.Data[0] = 1
-	for i := len(order) - 1; i >= 0; i-- {
-		n := order[i]
+	for i := len(t.order) - 1; i >= 0; i-- {
+		n := t.order[i]
 		if n.Grad != nil {
-			n.back()
+			n.runBack()
 		}
 	}
 }
 
-// --- operations ---
-
-// MatMul returns a·b.
-func (t *Tape) MatMul(a, b *Node) *Node {
-	out := &Node{Value: tensor.MatMul(a.Value, b.Value), requiresGrad: anyGrad(a, b), parents: []*Node{a, b}}
-	out.back = func() {
+// runBack applies node n's backward rule, accumulating into its parents'
+// gradients. One switch instead of per-node closures: see opKind.
+func (out *Node) runBack() {
+	switch out.op {
+	case opMatMul:
+		a, b := out.parents[0], out.parents[1]
+		// Gradient temporaries are recycled immediately: they are not tape
+		// nodes, so without this they would drain the buffer pool every step.
 		if a.requiresGrad {
 			ensureGrad(a)
-			tensor.AddInPlace(a.Grad, tensor.MatMulTransB(out.Grad, b.Value))
+			tmp := tensor.MatMulTransB(out.Grad, b.Value)
+			tensor.AddInPlace(a.Grad, tmp)
+			tensor.Recycle(tmp)
 		}
 		if b.requiresGrad {
 			ensureGrad(b)
-			tensor.AddInPlace(b.Grad, tensor.MatMulTransA(a.Value, out.Grad))
+			tmp := tensor.MatMulTransA(a.Value, out.Grad)
+			tensor.AddInPlace(b.Grad, tmp)
+			tensor.Recycle(tmp)
 		}
-	}
-	return t.record(out)
-}
-
-// SpMM returns s·x where s is a constant sparse matrix (no gradient flows
-// into s; this matches graph adjacency use).
-func (t *Tape) SpMM(s *tensor.CSR, x *Node) *Node {
-	out := &Node{Value: tensor.SpMM(s, x.Value), requiresGrad: x.requiresGrad, parents: []*Node{x}}
-	out.back = func() {
+	case opSpMM:
+		x := out.parents[0]
 		if x.requiresGrad {
 			ensureGrad(x)
-			tensor.AddInPlace(x.Grad, tensor.SpMMTrans(s, out.Grad))
+			tmp := tensor.SpMMTrans(out.auxCSR, out.Grad)
+			tensor.AddInPlace(x.Grad, tmp)
+			tensor.Recycle(tmp)
 		}
-	}
-	return t.record(out)
-}
-
-// Add returns a+b (same shape).
-func (t *Tape) Add(a, b *Node) *Node {
-	out := &Node{Value: tensor.Add(a.Value, b.Value), requiresGrad: anyGrad(a, b), parents: []*Node{a, b}}
-	out.back = func() {
+	case opAdd:
+		a, b := out.parents[0], out.parents[1]
 		if a.requiresGrad {
 			ensureGrad(a)
 			tensor.AddInPlace(a.Grad, out.Grad)
@@ -152,14 +259,8 @@ func (t *Tape) Add(a, b *Node) *Node {
 			ensureGrad(b)
 			tensor.AddInPlace(b.Grad, out.Grad)
 		}
-	}
-	return t.record(out)
-}
-
-// Sub returns a−b.
-func (t *Tape) Sub(a, b *Node) *Node {
-	out := &Node{Value: tensor.Sub(a.Value, b.Value), requiresGrad: anyGrad(a, b), parents: []*Node{a, b}}
-	out.back = func() {
+	case opSub:
+		a, b := out.parents[0], out.parents[1]
 		if a.requiresGrad {
 			ensureGrad(a)
 			tensor.AddInPlace(a.Grad, out.Grad)
@@ -168,42 +269,28 @@ func (t *Tape) Sub(a, b *Node) *Node {
 			ensureGrad(b)
 			tensor.AddScaledInPlace(b.Grad, out.Grad, -1)
 		}
-	}
-	return t.record(out)
-}
-
-// Mul returns the Hadamard product a∘b.
-func (t *Tape) Mul(a, b *Node) *Node {
-	out := &Node{Value: tensor.Mul(a.Value, b.Value), requiresGrad: anyGrad(a, b), parents: []*Node{a, b}}
-	out.back = func() {
+	case opMul:
+		a, b := out.parents[0], out.parents[1]
 		if a.requiresGrad {
 			ensureGrad(a)
-			tensor.AddInPlace(a.Grad, tensor.Mul(out.Grad, b.Value))
+			tmp := tensor.Mul(out.Grad, b.Value)
+			tensor.AddInPlace(a.Grad, tmp)
+			tensor.Recycle(tmp)
 		}
 		if b.requiresGrad {
 			ensureGrad(b)
-			tensor.AddInPlace(b.Grad, tensor.Mul(out.Grad, a.Value))
+			tmp := tensor.Mul(out.Grad, a.Value)
+			tensor.AddInPlace(b.Grad, tmp)
+			tensor.Recycle(tmp)
 		}
-	}
-	return t.record(out)
-}
-
-// Scale returns s·a for scalar constant s.
-func (t *Tape) Scale(a *Node, s float64) *Node {
-	out := &Node{Value: tensor.Scale(a.Value, s), requiresGrad: a.requiresGrad, parents: []*Node{a}}
-	out.back = func() {
+	case opScale:
+		a := out.parents[0]
 		if a.requiresGrad {
 			ensureGrad(a)
-			tensor.AddScaledInPlace(a.Grad, out.Grad, s)
+			tensor.AddScaledInPlace(a.Grad, out.Grad, out.auxF)
 		}
-	}
-	return t.record(out)
-}
-
-// AddBias returns m with the 1×cols bias row b added to every row.
-func (t *Tape) AddBias(m, b *Node) *Node {
-	out := &Node{Value: tensor.AddRowVector(m.Value, b.Value), requiresGrad: anyGrad(m, b), parents: []*Node{m, b}}
-	out.back = func() {
+	case opAddBias:
+		m, b := out.parents[0], out.parents[1]
 		if m.requiresGrad {
 			ensureGrad(m)
 			tensor.AddInPlace(m.Grad, out.Grad)
@@ -217,38 +304,211 @@ func (t *Tape) AddBias(m, b *Node) *Node {
 				}
 			}
 		}
+	case opSigmoid:
+		a := out.parents[0]
+		if a.requiresGrad {
+			ensureGrad(a)
+			for i, y := range out.Value.Data {
+				a.Grad.Data[i] += out.Grad.Data[i] * y * (1 - y)
+			}
+		}
+	case opTanh:
+		a := out.parents[0]
+		if a.requiresGrad {
+			ensureGrad(a)
+			for i, y := range out.Value.Data {
+				a.Grad.Data[i] += out.Grad.Data[i] * (1 - y*y)
+			}
+		}
+	case opReLU:
+		a := out.parents[0]
+		if a.requiresGrad {
+			ensureGrad(a)
+			for i := range out.Value.Data {
+				if a.Value.Data[i] > 0 {
+					a.Grad.Data[i] += out.Grad.Data[i]
+				}
+			}
+		}
+	case opOneMinus:
+		a := out.parents[0]
+		if a.requiresGrad {
+			ensureGrad(a)
+			tensor.AddScaledInPlace(a.Grad, out.Grad, -1)
+		}
+	case opConcatCols:
+		a, b := out.parents[0], out.parents[1]
+		if a.requiresGrad {
+			ensureGrad(a)
+			tmp := tensor.SliceCols(out.Grad, 0, a.Value.Cols)
+			tensor.AddInPlace(a.Grad, tmp)
+			tensor.Recycle(tmp)
+		}
+		if b.requiresGrad {
+			ensureGrad(b)
+			tmp := tensor.SliceCols(out.Grad, a.Value.Cols, out.Grad.Cols)
+			tensor.AddInPlace(b.Grad, tmp)
+			tensor.Recycle(tmp)
+		}
+	case opGatherRows:
+		a := out.parents[0]
+		if a.requiresGrad {
+			ensureGrad(a)
+			for i, r := range out.auxInts {
+				grow := out.Grad.Row(i)
+				arow := a.Grad.Row(r)
+				for c, v := range grow {
+					arow[c] += v
+				}
+			}
+		}
+	case opMean:
+		a := out.parents[0]
+		if a.requiresGrad {
+			ensureGrad(a)
+			g := out.Grad.Data[0] / float64(len(a.Value.Data))
+			for i := range a.Grad.Data {
+				a.Grad.Data[i] += g
+			}
+		}
+	case opMSE:
+		// aux is the residual pred−target; auxF its element count.
+		pred := out.parents[0]
+		if pred.requiresGrad {
+			ensureGrad(pred)
+			g := out.Grad.Data[0] * 2 / out.auxF
+			for i, v := range out.aux.Data {
+				pred.Grad.Data[i] += g * v
+			}
+		}
+	case opBCEWithLogits:
+		// aux is the 0/1 target matrix.
+		logits := out.parents[0]
+		if logits.requiresGrad {
+			ensureGrad(logits)
+			g := out.Grad.Data[0] / float64(len(out.aux.Data))
+			for i, z := range logits.Value.Data {
+				logits.Grad.Data[i] += g * (tensor.Sigmoid(z) - out.aux.Data[i])
+			}
+		}
+	case opAddScalarMul:
+		a, b := out.parents[0], out.parents[1]
+		if a.requiresGrad {
+			ensureGrad(a)
+			tensor.AddInPlace(a.Grad, out.Grad)
+		}
+		if b.requiresGrad {
+			ensureGrad(b)
+			tensor.AddScaledInPlace(b.Grad, out.Grad, out.auxF)
+		}
+	case opSoftmax:
+		a := out.parents[0]
+		if a.requiresGrad {
+			ensureGrad(a)
+			val := out.Value
+			for r := 0; r < val.Rows; r++ {
+				y := val.Row(r)
+				g := out.Grad.Row(r)
+				var dot float64
+				for c := range y {
+					dot += y[c] * g[c]
+				}
+				arow := a.Grad.Row(r)
+				for c := range y {
+					arow[c] += y[c] * (g[c] - dot)
+				}
+			}
+		}
+	case opCrossEntropy:
+		// aux is the row-wise softmax of the logits; auxInts the classes.
+		logits := out.parents[0]
+		if logits.requiresGrad {
+			ensureGrad(logits)
+			n := out.aux.Rows
+			g := out.Grad.Data[0] / float64(n)
+			for r := 0; r < n; r++ {
+				p := out.aux.Row(r)
+				grow := logits.Grad.Row(r)
+				for j, pj := range p {
+					grad := pj
+					if j == out.auxInts[r] {
+						grad -= 1
+					}
+					grow[j] += g * grad
+				}
+			}
+		}
+	case opDropout:
+		// aux is the 0-or-1/(1-p) keep mask.
+		a := out.parents[0]
+		if a.requiresGrad {
+			ensureGrad(a)
+			for i, m := range out.aux.Data {
+				a.Grad.Data[i] += out.Grad.Data[i] * m
+			}
+		}
+	case opSum:
+		a := out.parents[0]
+		if a.requiresGrad {
+			ensureGrad(a)
+			g := out.Grad.Data[0]
+			for i := range a.Grad.Data {
+				a.Grad.Data[i] += g
+			}
+		}
 	}
-	return t.record(out)
+}
+
+// --- operations ---
+
+// MatMul returns a·b.
+func (t *Tape) MatMul(a, b *Node) *Node {
+	return t.newNode2(opMatMul, tensor.MatMul(a.Value, b.Value), anyGrad(a, b), a, b)
+}
+
+// SpMM returns s·x where s is a constant sparse matrix (no gradient flows
+// into s; this matches graph adjacency use).
+func (t *Tape) SpMM(s *tensor.CSR, x *Node) *Node {
+	out := t.newNode1(opSpMM, tensor.SpMM(s, x.Value), x.requiresGrad, x)
+	out.auxCSR = s
+	return out
+}
+
+// Add returns a+b (same shape).
+func (t *Tape) Add(a, b *Node) *Node {
+	return t.newNode2(opAdd, tensor.Add(a.Value, b.Value), anyGrad(a, b), a, b)
+}
+
+// Sub returns a−b.
+func (t *Tape) Sub(a, b *Node) *Node {
+	return t.newNode2(opSub, tensor.Sub(a.Value, b.Value), anyGrad(a, b), a, b)
+}
+
+// Mul returns the Hadamard product a∘b.
+func (t *Tape) Mul(a, b *Node) *Node {
+	return t.newNode2(opMul, tensor.Mul(a.Value, b.Value), anyGrad(a, b), a, b)
+}
+
+// Scale returns s·a for scalar constant s.
+func (t *Tape) Scale(a *Node, s float64) *Node {
+	out := t.newNode1(opScale, tensor.Scale(a.Value, s), a.requiresGrad, a)
+	out.auxF = s
+	return out
+}
+
+// AddBias returns m with the 1×cols bias row b added to every row.
+func (t *Tape) AddBias(m, b *Node) *Node {
+	return t.newNode2(opAddBias, tensor.AddRowVector(m.Value, b.Value), anyGrad(m, b), m, b)
 }
 
 // Sigmoid applies the logistic function elementwise.
 func (t *Tape) Sigmoid(a *Node) *Node {
-	val := tensor.Apply(a.Value, tensor.Sigmoid)
-	out := &Node{Value: val, requiresGrad: a.requiresGrad, parents: []*Node{a}}
-	out.back = func() {
-		if a.requiresGrad {
-			ensureGrad(a)
-			for i, y := range val.Data {
-				a.Grad.Data[i] += out.Grad.Data[i] * y * (1 - y)
-			}
-		}
-	}
-	return t.record(out)
+	return t.newNode1(opSigmoid, tensor.Apply(a.Value, tensor.Sigmoid), a.requiresGrad, a)
 }
 
 // Tanh applies tanh elementwise.
 func (t *Tape) Tanh(a *Node) *Node {
-	val := tensor.Apply(a.Value, math.Tanh)
-	out := &Node{Value: val, requiresGrad: a.requiresGrad, parents: []*Node{a}}
-	out.back = func() {
-		if a.requiresGrad {
-			ensureGrad(a)
-			for i, y := range val.Data {
-				a.Grad.Data[i] += out.Grad.Data[i] * (1 - y*y)
-			}
-		}
-	}
-	return t.record(out)
+	return t.newNode1(opTanh, tensor.Apply(a.Value, math.Tanh), a.requiresGrad, a)
 }
 
 // ReLU applies max(0, x) elementwise.
@@ -259,103 +519,47 @@ func (t *Tape) ReLU(a *Node) *Node {
 		}
 		return 0
 	})
-	out := &Node{Value: val, requiresGrad: a.requiresGrad, parents: []*Node{a}}
-	out.back = func() {
-		if a.requiresGrad {
-			ensureGrad(a)
-			for i := range val.Data {
-				if a.Value.Data[i] > 0 {
-					a.Grad.Data[i] += out.Grad.Data[i]
-				}
-			}
-		}
-	}
-	return t.record(out)
+	return t.newNode1(opReLU, val, a.requiresGrad, a)
 }
 
 // OneMinus returns 1−a elementwise (used by GRU gates).
 func (t *Tape) OneMinus(a *Node) *Node {
 	val := tensor.Apply(a.Value, func(v float64) float64 { return 1 - v })
-	out := &Node{Value: val, requiresGrad: a.requiresGrad, parents: []*Node{a}}
-	out.back = func() {
-		if a.requiresGrad {
-			ensureGrad(a)
-			tensor.AddScaledInPlace(a.Grad, out.Grad, -1)
-		}
-	}
-	return t.record(out)
+	return t.newNode1(opOneMinus, val, a.requiresGrad, a)
 }
 
 // ConcatCols returns [a | b].
 func (t *Tape) ConcatCols(a, b *Node) *Node {
-	out := &Node{Value: tensor.ConcatCols(a.Value, b.Value), requiresGrad: anyGrad(a, b), parents: []*Node{a, b}}
-	out.back = func() {
-		if a.requiresGrad {
-			ensureGrad(a)
-			tensor.AddInPlace(a.Grad, tensor.SliceCols(out.Grad, 0, a.Value.Cols))
-		}
-		if b.requiresGrad {
-			ensureGrad(b)
-			tensor.AddInPlace(b.Grad, tensor.SliceCols(out.Grad, a.Value.Cols, out.Grad.Cols))
-		}
-	}
-	return t.record(out)
+	return t.newNode2(opConcatCols, tensor.ConcatCols(a.Value, b.Value), anyGrad(a, b), a, b)
 }
 
 // GatherRows selects the given rows of a.
 func (t *Tape) GatherRows(a *Node, rows []int) *Node {
-	idx := append([]int(nil), rows...)
-	out := &Node{Value: tensor.GatherRows(a.Value, idx), requiresGrad: a.requiresGrad, parents: []*Node{a}}
-	out.back = func() {
-		if a.requiresGrad {
-			ensureGrad(a)
-			for i, r := range idx {
-				grow := out.Grad.Row(i)
-				arow := a.Grad.Row(r)
-				for c, v := range grow {
-					arow[c] += v
-				}
-			}
-		}
-	}
-	return t.record(out)
+	out := t.newNode1(opGatherRows, tensor.GatherRows(a.Value, rows), a.requiresGrad, a)
+	// Defensive copy into the shell's reusable index scratch: the caller may
+	// mutate rows before Backward runs.
+	out.auxInts = append(out.auxInts[:0], rows...)
+	return out
 }
 
 // Mean returns the scalar mean of all elements of a.
 func (t *Tape) Mean(a *Node) *Node {
 	val := tensor.FromSlice(1, 1, []float64{a.Value.Mean()})
-	out := &Node{Value: val, requiresGrad: a.requiresGrad, parents: []*Node{a}}
-	out.back = func() {
-		if a.requiresGrad {
-			ensureGrad(a)
-			g := out.Grad.Data[0] / float64(len(a.Value.Data))
-			for i := range a.Grad.Data {
-				a.Grad.Data[i] += g
-			}
-		}
-	}
-	return t.record(out)
+	return t.newNode1(opMean, val, a.requiresGrad, a)
 }
 
 // MSE returns mean squared error between pred and the constant target.
 func (t *Tape) MSE(pred *Node, target *tensor.Matrix) *Node {
-	diff := tensor.Sub(pred.Value, target)
+	diff := t.Owned(tensor.Sub(pred.Value, target))
 	var s float64
 	for _, v := range diff.Data {
 		s += v * v
 	}
 	n := float64(len(diff.Data))
-	out := &Node{Value: tensor.FromSlice(1, 1, []float64{s / n}), requiresGrad: pred.requiresGrad, parents: []*Node{pred}}
-	out.back = func() {
-		if pred.requiresGrad {
-			ensureGrad(pred)
-			g := out.Grad.Data[0] * 2 / n
-			for i, v := range diff.Data {
-				pred.Grad.Data[i] += g * v
-			}
-		}
-	}
-	return t.record(out)
+	out := t.newNode1(opMSE, tensor.FromSlice(1, 1, []float64{s / n}), pred.requiresGrad, pred)
+	out.aux = diff
+	out.auxF = n
+	return out
 }
 
 // BCEWithLogits returns mean binary cross-entropy of logits against the
@@ -375,33 +579,16 @@ func (t *Tape) BCEWithLogits(logits *Node, target *tensor.Matrix) *Node {
 			s += -y*z + math.Log1p(math.Exp(z))
 		}
 	}
-	out := &Node{Value: tensor.FromSlice(1, 1, []float64{s / n}), requiresGrad: logits.requiresGrad, parents: []*Node{logits}}
-	out.back = func() {
-		if logits.requiresGrad {
-			ensureGrad(logits)
-			g := out.Grad.Data[0] / n
-			for i, z := range logits.Value.Data {
-				logits.Grad.Data[i] += g * (tensor.Sigmoid(z) - target.Data[i])
-			}
-		}
-	}
-	return t.record(out)
+	out := t.newNode1(opBCEWithLogits, tensor.FromSlice(1, 1, []float64{s / n}), logits.requiresGrad, logits)
+	out.aux = target
+	return out
 }
 
 // AddScalarMul returns a + s·b, a fused helper for residual-style updates.
 func (t *Tape) AddScalarMul(a, b *Node, s float64) *Node {
 	val := a.Value.Clone()
 	tensor.AddScaledInPlace(val, b.Value, s)
-	out := &Node{Value: val, requiresGrad: anyGrad(a, b), parents: []*Node{a, b}}
-	out.back = func() {
-		if a.requiresGrad {
-			ensureGrad(a)
-			tensor.AddInPlace(a.Grad, out.Grad)
-		}
-		if b.requiresGrad {
-			ensureGrad(b)
-			tensor.AddScaledInPlace(b.Grad, out.Grad, s)
-		}
-	}
-	return t.record(out)
+	out := t.newNode2(opAddScalarMul, val, anyGrad(a, b), a, b)
+	out.auxF = s
+	return out
 }

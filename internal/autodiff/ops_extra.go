@@ -33,26 +33,7 @@ func (t *Tape) Softmax(a *Node) *Node {
 			out[c] /= sum
 		}
 	}
-	out := &Node{Value: val, requiresGrad: a.requiresGrad, parents: []*Node{a}}
-	out.back = func() {
-		if !a.requiresGrad {
-			return
-		}
-		ensureGrad(a)
-		for r := 0; r < val.Rows; r++ {
-			y := val.Row(r)
-			g := out.Grad.Row(r)
-			var dot float64
-			for c := range y {
-				dot += y[c] * g[c]
-			}
-			arow := a.Grad.Row(r)
-			for c := range y {
-				arow[c] += y[c] * (g[c] - dot)
-			}
-		}
-	}
-	return t.record(out)
+	return t.newNode1(opSoftmax, val, a.requiresGrad, a)
 }
 
 // CrossEntropy returns the mean negative log-likelihood of the given class
@@ -62,7 +43,7 @@ func (t *Tape) CrossEntropy(logits *Node, classes []int) *Node {
 	if len(classes) != n {
 		panic(fmt.Sprintf("autodiff: CrossEntropy got %d classes for %d rows", len(classes), n))
 	}
-	probs := tensor.New(n, logits.Value.Cols)
+	probs := t.Owned(tensor.New(n, logits.Value.Cols))
 	var loss float64
 	for r := 0; r < n; r++ {
 		row := logits.Value.Row(r)
@@ -87,30 +68,10 @@ func (t *Tape) CrossEntropy(logits *Node, classes []int) *Node {
 		}
 		loss += -math.Log(p[c] + 1e-300)
 	}
-	out := &Node{
-		Value:        tensor.FromSlice(1, 1, []float64{loss / float64(n)}),
-		requiresGrad: logits.requiresGrad,
-		parents:      []*Node{logits},
-	}
-	out.back = func() {
-		if !logits.requiresGrad {
-			return
-		}
-		ensureGrad(logits)
-		g := out.Grad.Data[0] / float64(n)
-		for r := 0; r < n; r++ {
-			p := probs.Row(r)
-			grow := logits.Grad.Row(r)
-			for j, pj := range p {
-				grad := pj
-				if j == classes[r] {
-					grad -= 1
-				}
-				grow[j] += g * grad
-			}
-		}
-	}
-	return t.record(out)
+	out := t.newNode1(opCrossEntropy, tensor.FromSlice(1, 1, []float64{loss / float64(n)}), logits.requiresGrad, logits)
+	out.aux = probs
+	out.auxInts = append(out.auxInts[:0], classes...)
+	return out
 }
 
 // Dropout zeroes each element independently with probability p and scales
@@ -123,7 +84,7 @@ func (t *Tape) Dropout(a *Node, p float64, rng *rand.Rand) *Node {
 		return a
 	}
 	scale := 1 / (1 - p)
-	mask := tensor.New(a.Value.Rows, a.Value.Cols)
+	mask := t.Owned(tensor.New(a.Value.Rows, a.Value.Cols))
 	val := tensor.New(a.Value.Rows, a.Value.Cols)
 	for i, v := range a.Value.Data {
 		if rng.Float64() >= p {
@@ -131,33 +92,12 @@ func (t *Tape) Dropout(a *Node, p float64, rng *rand.Rand) *Node {
 			val.Data[i] = v * scale
 		}
 	}
-	out := &Node{Value: val, requiresGrad: a.requiresGrad, parents: []*Node{a}}
-	out.back = func() {
-		if a.requiresGrad {
-			ensureGrad(a)
-			for i, m := range mask.Data {
-				a.Grad.Data[i] += out.Grad.Data[i] * m
-			}
-		}
-	}
-	return t.record(out)
+	out := t.newNode1(opDropout, val, a.requiresGrad, a)
+	out.aux = mask
+	return out
 }
 
 // Sum returns the scalar sum of all elements of a.
 func (t *Tape) Sum(a *Node) *Node {
-	out := &Node{
-		Value:        tensor.FromSlice(1, 1, []float64{a.Value.Sum()}),
-		requiresGrad: a.requiresGrad,
-		parents:      []*Node{a},
-	}
-	out.back = func() {
-		if a.requiresGrad {
-			ensureGrad(a)
-			g := out.Grad.Data[0]
-			for i := range a.Grad.Data {
-				a.Grad.Data[i] += g
-			}
-		}
-	}
-	return t.record(out)
+	return t.newNode1(opSum, tensor.FromSlice(1, 1, []float64{a.Value.Sum()}), a.requiresGrad, a)
 }

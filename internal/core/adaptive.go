@@ -3,6 +3,8 @@ package core
 import (
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"streamgnn/internal/sampling"
 )
@@ -29,6 +31,25 @@ func (s *chipSampler) SampleNode() int { return s.chips.Sample(s.rng) }
 // partition, and moves chips between winner and loser according to the
 // randomized rule whose stationary distribution weights states by e^{u_s}
 // (Theorem IV.4).
+//
+// Step executes in three phases so pair evaluation can run on worker
+// goroutines without giving up determinism:
+//
+//  1. Sampling (serial): all 2·PairsPerStep pair nodes are drawn with the
+//     learner's rng, then each unit is assigned a private seed from the same
+//     rng. The random stream consumed is independent of worker count.
+//  2. Evaluation (parallel): the units' forward passes and losses are built
+//     concurrently against the same parameter snapshot θ_t — the paper
+//     measures temporal utility *before* backpropagation, so utilities are
+//     well-defined at θ_t and independent of evaluation order. Evaluation
+//     is read-only: NoCommit forwards never write model state, each unit
+//     has its own tape and rng, and stats counters are atomic.
+//  3. Apply (serial, fixed order): gradients are backpropagated and the
+//     optimizer stepped in unit-index order, then the chip moves of lines
+//     8-16 are decided per pair with the learner's rng.
+//
+// Workers=1 runs phase 2 on the caller's goroutine with the exact same
+// seeds, so a seeded run is bit-identical for every worker count.
 type AdaptiveLearner struct {
 	Chips   *sampling.Chips
 	Trainer *Trainer
@@ -38,10 +59,27 @@ type AdaptiveLearner struct {
 	sampler NodeSampler
 	anchors map[int]bool
 
+	// Incremental activity state: genuine[v] mirrors the activity predicate
+	// (degree > 0 or anchor) so refreshActivity only reconsiders nodes the
+	// graph marked dirty since the previous step. forcedAll notes that the
+	// degenerate all-inactive fallback is in effect.
+	genuine       []bool
+	genuineActive int
+	forcedAll     bool
+	scanned       bool
+
+	// Step scratch, reused across calls to keep the hot path allocation-free.
+	units []Unit
+	nodes []int
+	seeds []int64
+
 	// Moves counts accepted chip moves (observability/tests).
 	Moves int
 	// Trained counts executed training partitions.
 	Trained int
+	// ParallelUnits counts units evaluated on worker goroutines (0 when
+	// Workers <= 1; observability for streamgnn.Stats).
+	ParallelUnits int64
 }
 
 // NewAdaptiveLearner builds Algorithm 1 over the trainer's graph. strategy
@@ -81,6 +119,11 @@ func (a *AdaptiveLearner) getSampleNode(updated []int) int {
 // eligible regardless — the workload-aware half of the paper's selective
 // training: data relevant to the continuous queries is always worth
 // training, even when momentarily quiet.
+//
+// After the first full scan the refresh is incremental: only nodes the
+// graph reports as activity-dirty (degree or attribute changes, including
+// window expiry) are reconsidered, so quiet steps on large graphs cost
+// O(|dirty|) instead of O(n).
 func (a *AdaptiveLearner) refreshActivity() {
 	g := a.Trainer.G
 	a.Chips.EnsureN(g.N())
@@ -94,45 +137,144 @@ func (a *AdaptiveLearner) refreshActivity() {
 			}
 		}
 	}
-	anyActive := false
-	for v := 0; v < g.N(); v++ {
-		on := g.Degree(v) > 0 || a.anchors[v]
-		a.Chips.SetActive(v, on)
-		anyActive = anyActive || on
-	}
-	if !anyActive {
-		// Degenerate edgeless snapshot: fall back to sampling everywhere.
+	if !a.scanned {
+		a.scanned = true
+		a.genuine = make([]bool, g.N())
+		a.genuineActive = 0
 		for v := 0; v < g.N(); v++ {
+			on := g.Degree(v) > 0 || a.anchors[v]
+			a.genuine[v] = on
+			if on {
+				a.genuineActive++
+			}
+		}
+		g.TakeActivityDirty() // drained: the scan covered everything
+		a.applyActivity(nil, true)
+		return
+	}
+	dirty := g.TakeActivityDirty()
+	for len(a.genuine) < g.N() {
+		// Nodes added since the last refresh are in dirty (AddNode touches);
+		// grow the mirror with placeholders settled below.
+		a.genuine = append(a.genuine, false)
+	}
+	for _, v := range dirty {
+		on := g.Degree(v) > 0 || a.anchors[v]
+		if on != a.genuine[v] {
+			a.genuine[v] = on
+			if on {
+				a.genuineActive++
+			} else {
+				a.genuineActive--
+			}
+		}
+	}
+	a.applyActivity(dirty, false)
+}
+
+// applyActivity pushes the genuine mirror into the chip distribution,
+// handling the degenerate edgeless snapshot by activating everything.
+func (a *AdaptiveLearner) applyActivity(dirty []int, full bool) {
+	n := len(a.genuine)
+	if a.genuineActive == 0 {
+		// Degenerate edgeless snapshot: fall back to sampling everywhere.
+		for v := 0; v < n; v++ {
 			a.Chips.SetActive(v, true)
 		}
+		a.forcedAll = true
+		return
+	}
+	if full || a.forcedAll {
+		// Leaving the fallback (or first scan): resync every node.
+		for v := 0; v < n; v++ {
+			a.Chips.SetActive(v, a.genuine[v])
+		}
+		a.forcedAll = false
+		return
+	}
+	for _, v := range dirty {
+		a.Chips.SetActive(v, a.genuine[v])
 	}
 }
 
 // Step runs one training step (Algorithm 1 lines 2-16): PairsPerStep pairs
-// are sampled and trained, and chips move between winner and loser.
+// are sampled, their partitions evaluated (concurrently when cfg.Workers >
+// 1), gradients applied serially, and chips moved between winner and loser.
 // updated is the set U of nodes with new data since the previous step.
 func (a *AdaptiveLearner) Step(updated []int) {
 	a.refreshActivity()
+	// Phase 1: sample every pair endpoint, then deal per-unit seeds, all
+	// from the learner's rng so the stream is worker-count independent.
+	n := 2 * a.cfg.PairsPerStep
+	if cap(a.units) < n {
+		a.units = make([]Unit, n)
+		a.nodes = make([]int, n)
+		a.seeds = make([]int64, n)
+	}
+	units, nodes, seeds := a.units[:n], a.nodes[:n], a.seeds[:n]
+	for i := range nodes {
+		nodes[i] = a.getSampleNode(updated)
+	}
+	for i := range seeds {
+		seeds[i] = a.rng.Int63()
+	}
+	// Phase 2: evaluate all units against the current parameters.
+	workers := a.cfg.Workers
+	if workers > len(units) {
+		workers = len(units)
+	}
+	if workers <= 1 {
+		for i := range units {
+			units[i] = a.Trainer.EvalUnit(nodes[i], seeds[i])
+		}
+	} else {
+		var cursor int64 = -1
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt64(&cursor, 1))
+					if i >= len(units) {
+						return
+					}
+					units[i] = a.Trainer.EvalUnit(nodes[i], seeds[i])
+				}
+			}()
+		}
+		wg.Wait()
+		a.ParallelUnits += int64(len(units))
+	}
+	// Phase 3: serial, fixed-order application and chip accounting. By
+	// default the units' gradients accumulate into the shared parameters and
+	// a single optimizer step applies their sum; PerUnitApply restores the
+	// original one-optimizer-step-per-partition schedule.
+	accumulated := false
 	for pair := 0; pair < a.cfg.PairsPerStep; pair++ {
-		v1 := a.getSampleNode(updated)
-		v2 := a.getSampleNode(updated)
-		u1, ok1 := a.Trainer.TrainPartition(v1)
-		u2, ok2 := a.Trainer.TrainPartition(v2)
-		if ok1 {
+		u1, u2 := units[2*pair], units[2*pair+1]
+		if a.cfg.PerUnitApply {
+			a.Trainer.ApplyUnit(u1)
+			a.Trainer.ApplyUnit(u2)
+		} else {
+			accumulated = a.Trainer.AccumulateUnit(u1) || accumulated
+			accumulated = a.Trainer.AccumulateUnit(u2) || accumulated
+		}
+		if u1.OK {
 			a.Trained++
 		}
-		if ok2 {
+		if u2.OK {
 			a.Trained++
 		}
-		if !ok1 || !ok2 {
+		if !u1.OK || !u2.OK {
 			continue // no utility signal to compare
 		}
 		// Lines 8-10: winner has the higher utility; ties favor v2.
-		w, l := v2, v1
-		uw, ul := u2, u1
-		if u1 > u2 {
-			w, l = v1, v2
-			uw, ul = u1, u2
+		w, l := u2.Node, u1.Node
+		uw, ul := u2.Utility, u1.Utility
+		if u1.Utility > u2.Utility {
+			w, l = u1.Node, u2.Node
+			uw, ul = u1.Utility, u2.Utility
 		}
 		// Lines 11-16.
 		kn := float64(a.Chips.Total())
@@ -145,6 +287,9 @@ func (a *AdaptiveLearner) Step(updated []int) {
 				a.Moves++
 			}
 		}
+	}
+	if accumulated {
+		a.Trainer.Opt.Step()
 	}
 }
 

@@ -95,26 +95,44 @@ type Config struct {
 	// Ball-wide targets are more numerous but computed from truncated
 	// neighborhoods; see the ablation bench.
 	BallSupervision bool
+	// Workers is the number of goroutines evaluating training units
+	// concurrently in the adaptive strategies (forward + loss only; gradient
+	// application stays serial). 1 (the default) evaluates on the calling
+	// goroutine; seeded runs are bit-identical for every value.
+	Workers int
+	// PartitionCacheCap is the capacity (in partitions) of the version-keyed
+	// LRU partition cache attached to the graph by the scheduler; 0 disables
+	// caching. Default 256.
+	PartitionCacheCap int
+	// PerUnitApply steps the optimizer once per training partition (the
+	// original per-unit schedule) instead of accumulating the step's
+	// gradients and applying them in one optimizer step. Accumulation (the
+	// default) runs clipping, Adam moment updates and gradient zeroing once
+	// per step instead of once per partition; both schedules apply gradients
+	// serially in unit-index order and are bit-deterministic.
+	PerUnitApply bool
 }
 
 // DefaultConfig returns the paper's default parameter values.
 func DefaultConfig() Config {
 	return Config{
-		K:               5,
-		PairsPerStep:    1,
-		RoundsPerStep:   10,
-		PUpdate:         0.5,
-		Interval:        1,
-		Seeds:           15,
-		StopProb:        0.5,
-		SeedKeep:        0.8,
-		Teleport:        true,
-		MinChips:        1,
-		LR:              0.02,
-		SelfWeight:      1,
-		SupWeight:       1,
-		ReplaySize:      24,
-		BallSupervision: true,
+		K:                 5,
+		PairsPerStep:      1,
+		RoundsPerStep:     10,
+		PUpdate:           0.5,
+		Interval:          1,
+		Seeds:             15,
+		StopProb:          0.5,
+		SeedKeep:          0.8,
+		Teleport:          true,
+		MinChips:          1,
+		LR:                0.02,
+		SelfWeight:        1,
+		SupWeight:         1,
+		ReplaySize:        24,
+		BallSupervision:   true,
+		Workers:           1,
+		PartitionCacheCap: 256,
 	}
 }
 
@@ -141,6 +159,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: MinChips must be >= 0, got %d", c.MinChips)
 	case c.LR <= 0:
 		return fmt.Errorf("core: LR must be positive, got %v", c.LR)
+	case c.Workers < 1:
+		return fmt.Errorf("core: Workers must be >= 1, got %d", c.Workers)
+	case c.PartitionCacheCap < 0:
+		return fmt.Errorf("core: PartitionCacheCap must be >= 0, got %d", c.PartitionCacheCap)
 	}
 	return nil
 }

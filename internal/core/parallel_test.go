@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"streamgnn/internal/autodiff"
+	"streamgnn/internal/dgnn"
+	"streamgnn/internal/graph"
+	"streamgnn/internal/query"
+)
+
+// adaptiveFingerprint runs a seeded adaptive learner for several steps over a
+// mutating graph and returns everything observable: final chip counts, the
+// Trained/Moves counters, and every model parameter value.
+func adaptiveFingerprint(t *testing.T, workers, pairs int) ([]int, int, int, []float64) {
+	t.Helper()
+	const n = 16
+	rng := rand.New(rand.NewSource(7))
+	g := graph.NewDynamic(3)
+	for i := 0; i < n; i++ {
+		g.AddNode(0, []float64{float64(i % 2), float64(i % 3), 1})
+		g.SetLabel(i, float64(i%2))
+	}
+	for i := 0; i < n; i++ {
+		g.AddUndirectedEdge(i, (i+1)%n, 0, int64(i))
+	}
+	cfg := DefaultConfig()
+	cfg.Workers = workers
+	cfg.PairsPerStep = pairs
+	g.EnablePartitionCache(cfg.PartitionCacheCap)
+	m := dgnn.NewTGCN(rng, 3, 4)
+	heads := query.NewHeads(rng, 4)
+	w := query.NewWorkload(heads)
+	params := append(m.Params(), heads.Params()...)
+	opt := m.WrapOptimizer(autodiff.NewAdam(cfg.LR, params))
+	tr := NewTrainer(g, m, w, opt, cfg, rng)
+	a := NewAdaptiveLearner(tr, cfg, Weighted, rng)
+
+	for step := 0; step < 8; step++ {
+		// Mutate the stream deterministically: new chords, then a window
+		// expiry, exercising cache invalidation and dirty-activity tracking.
+		g.AddUndirectedEdge(step, (step+5)%n, 0, int64(n+step))
+		if step == 4 {
+			g.ExpireEdgesBefore(3)
+		}
+		a.Step(g.Updated())
+		g.ResetUpdated()
+	}
+
+	var flat []float64
+	for _, p := range params {
+		flat = append(flat, p.Value.Data...)
+	}
+	return a.Chips.Counts(), a.Trained, a.Moves, flat
+}
+
+// TestStepDeterministicAcrossWorkers is the headline determinism guarantee:
+// a seeded run produces bit-identical chips, counters and parameters whether
+// pair units are evaluated serially or on 4 worker goroutines.
+func TestStepDeterministicAcrossWorkers(t *testing.T) {
+	for _, pairs := range []int{1, 3} {
+		c1, t1, m1, p1 := adaptiveFingerprint(t, 1, pairs)
+		c4, t4, m4, p4 := adaptiveFingerprint(t, 4, pairs)
+		if t1 != t4 || m1 != m4 {
+			t.Fatalf("pairs=%d: counters diverged: trained %d vs %d, moves %d vs %d", pairs, t1, t4, m1, m4)
+		}
+		if len(c1) != len(c4) {
+			t.Fatalf("pairs=%d: chip vector length %d vs %d", pairs, len(c1), len(c4))
+		}
+		for i := range c1 {
+			if c1[i] != c4[i] {
+				t.Fatalf("pairs=%d: chip counts diverged at node %d: %d vs %d", pairs, i, c1[i], c4[i])
+			}
+		}
+		if len(p1) != len(p4) {
+			t.Fatalf("pairs=%d: parameter count %d vs %d", pairs, len(p1), len(p4))
+		}
+		for i := range p1 {
+			if p1[i] != p4[i] {
+				t.Fatalf("pairs=%d: parameter %d diverged: %v vs %v", pairs, i, p1[i], p4[i])
+			}
+		}
+	}
+}
+
+// TestParallelUnitsCounter checks the observability counter: worker-pool runs
+// count evaluated units, serial runs stay at zero.
+func TestParallelUnitsCounter(t *testing.T) {
+	_, tr, _ := testSetup(t, 12, Weighted)
+	cfg := DefaultConfig()
+	cfg.Workers = 4
+	cfg.PairsPerStep = 2
+	a := NewAdaptiveLearner(tr, cfg, Weighted, rand.New(rand.NewSource(1)))
+	a.Step(nil)
+	if a.ParallelUnits != 4 {
+		t.Fatalf("ParallelUnits = %d, want 4", a.ParallelUnits)
+	}
+	_, tr2, _ := testSetup(t, 12, Weighted)
+	s := NewAdaptiveLearner(tr2, DefaultConfig(), Weighted, rand.New(rand.NewSource(1)))
+	s.Step(nil)
+	if s.ParallelUnits != 0 {
+		t.Fatalf("serial ParallelUnits = %d, want 0", s.ParallelUnits)
+	}
+}
+
+// TestIncrementalActivityMatchesFullScan mutates the graph through several
+// steps and asserts the incrementally maintained active set always equals
+// what a from-scratch scan of the snapshot would produce.
+func TestIncrementalActivityMatchesFullScan(t *testing.T) {
+	g, tr, _ := testSetup(t, 10, Weighted)
+	a := NewAdaptiveLearner(tr, DefaultConfig(), Weighted, rand.New(rand.NewSource(3)))
+	check := func(when string) {
+		t.Helper()
+		a.refreshActivity()
+		anyActive := false
+		for v := 0; v < g.N(); v++ {
+			if g.Degree(v) > 0 {
+				anyActive = true
+			}
+		}
+		for v := 0; v < g.N(); v++ {
+			want := g.Degree(v) > 0 || !anyActive
+			if got := a.Chips.Active(v); got != want {
+				t.Fatalf("%s: node %d active=%v want %v", when, v, got, want)
+			}
+		}
+	}
+	check("initial")
+	g.AddNode(0, []float64{1, 0, 1}) // isolated node 10
+	check("after isolated add")
+	g.AddUndirectedEdge(10, 3, 0, 100)
+	check("after connecting")
+	g.ExpireEdgesBefore(101) // everything but the new edge expires
+	check("after mass expiry")
+	g.ExpireEdgesBefore(200) // fully edgeless: degenerate fallback
+	check("edgeless fallback")
+	g.AddUndirectedEdge(0, 1, 0, 300) // leave the fallback again
+	check("after recovery")
+}

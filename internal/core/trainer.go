@@ -2,6 +2,8 @@ package core
 
 import (
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"streamgnn/internal/autodiff"
 	"streamgnn/internal/dgnn"
@@ -40,13 +42,29 @@ type Trainer struct {
 	Stats TrainerStats
 }
 
-// TrainerStats counts the training targets consumed so far.
+// TrainerStats counts the training targets consumed so far. Fields are
+// updated atomically (loss construction runs on worker goroutines under
+// parallel pair execution); sums are order-independent, so the counters stay
+// deterministic regardless of worker count.
 type TrainerStats struct {
-	SelfNodeTargets int
-	SelfEdgeTargets int
-	SupNodeTargets  int
-	SupPairTargets  int
-	ReplayTargets   int
+	SelfNodeTargets int64
+	SelfEdgeTargets int64
+	SupNodeTargets  int64
+	SupPairTargets  int64
+	ReplayTargets   int64
+}
+
+// tapePool recycles training tapes across units and steps. A recycled tape
+// brings back its node shells and scratch slices (see autodiff.Tape), so a
+// warm training unit allocates little beyond its op closures. Safe for
+// concurrent Get/Put from worker goroutines; each tape is used by one
+// goroutine at a time.
+var tapePool = sync.Pool{New: func() any { return autodiff.NewTape() }}
+
+// putTape releases the tape's buffers and returns it to the pool.
+func putTape(tp *autodiff.Tape) {
+	tp.Release()
+	tapePool.Put(tp)
 }
 
 // NewTrainer wires a trainer; opt must manage both model and head params.
@@ -64,22 +82,109 @@ func NewTrainer(g *graph.Dynamic, m dgnn.Model, w *query.Workload, opt autodiff.
 	}
 }
 
-// TrainPartition performs node v's training partition and returns its
-// temporal utility and whether any training material was available.
-func (t *Trainer) TrainPartition(v int) (utility float64, trained bool) {
+// Unit is one evaluated-but-not-applied training partition: the forward
+// pass and loss of node v's partition, with the temporal utility (the loss
+// before backpropagation — Section IV-A) already measured. Units are the
+// unit of parallelism: evaluation is read-only with respect to model
+// parameters, recurrent state, and optimizer state, so many units can be
+// built concurrently against the same parameter snapshot; ApplyUnit then
+// backpropagates them serially in a fixed order.
+type Unit struct {
+	Node    int
+	Utility float64
+	OK      bool
+
+	tape *autodiff.Tape
+	loss *autodiff.Node
+}
+
+// unitSource is a splitmix64-backed rand.Source64 with O(1) seeding. The
+// hot path seeds a fresh private rng per training unit; the standard
+// lagged-Fibonacci source pays a ~600-word initialization for that, which
+// profiles as several percent of a training step. Determinism only needs
+// seed -> stream to be a fixed function, which splitmix64 provides.
+type unitSource struct{ state uint64 }
+
+func (s *unitSource) Seed(seed int64) { s.state = uint64(seed) }
+
+func (s *unitSource) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+func (s *unitSource) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// EvalUnit builds node v's training unit using a private rng seeded with
+// seed, so evaluation order (and worker count) cannot perturb the sampled
+// replay batches and negatives. Safe to call from worker goroutines.
+func (t *Trainer) EvalUnit(v int, seed int64) Unit {
+	return t.evalUnit(v, rand.New(&unitSource{state: uint64(seed)}))
+}
+
+func (t *Trainer) evalUnit(v int, rng *rand.Rand) Unit {
 	sub := t.G.Partition(v, t.Model.Layers())
 	view := dgnn.SubView(sub)
 	view.NoCommit = true // recurrent state advances only at inference time
-	tp := autodiff.NewTape()
+	tp := tapePool.Get().(*autodiff.Tape)
+	tp.Owned(view.Feat) // fresh per view; recycled with the tape
 	emb := t.Model.Forward(tp, view)
-	loss := t.buildLoss(tp, emb, t.partitionMaterial(v, sub))
+	loss := t.buildLoss(tp, emb, t.partitionMaterial(v, sub, rng), rng)
 	if loss == nil {
+		putTape(tp)
+		return Unit{Node: v}
+	}
+	return Unit{Node: v, Utility: loss.Value.Data[0], OK: true, tape: tp, loss: loss}
+}
+
+// ApplyUnit backpropagates an evaluated unit and applies the optimizer step,
+// then recycles the unit's tape. Must be called serially (optimizer state is
+// not synchronized); call in a deterministic order to keep seeded runs
+// reproducible. No-op for units without training material.
+func (t *Trainer) ApplyUnit(u Unit) {
+	if !u.OK {
+		return
+	}
+	u.tape.Backward(u.loss)
+	t.Opt.Step()
+	putTape(u.tape)
+}
+
+// AccumulateUnit backpropagates an evaluated unit into the shared parameter
+// gradients without stepping the optimizer, then recycles the unit's tape.
+// Must be called serially in a deterministic order; follow a batch of
+// accumulations with a single Opt.Step() to apply the summed gradient. It
+// reports whether the unit contributed a gradient.
+func (t *Trainer) AccumulateUnit(u Unit) bool {
+	if !u.OK {
+		return false
+	}
+	u.tape.Backward(u.loss)
+	putTape(u.tape)
+	return true
+}
+
+// DiscardUnit recycles an evaluated unit without applying it.
+func (t *Trainer) DiscardUnit(u Unit) {
+	if u.tape != nil {
+		putTape(u.tape)
+	}
+}
+
+// TrainPartition performs node v's training partition and returns its
+// temporal utility and whether any training material was available.
+func (t *Trainer) TrainPartition(v int) (utility float64, trained bool) {
+	u := t.evalUnit(v, t.rng)
+	if !u.OK {
 		return 0, false
 	}
-	utility = loss.Value.Data[0]
-	tp.Backward(loss)
-	t.Opt.Step()
-	return utility, true
+	t.ApplyUnit(u)
+	return u.Utility, true
 }
 
 // TrainFull performs one full-graph training pass (the baseline) and
@@ -87,31 +192,30 @@ func (t *Trainer) TrainPartition(v int) (utility float64, trained bool) {
 func (t *Trainer) TrainFull() (loss float64, trained bool) {
 	view := dgnn.FullView(t.G)
 	view.NoCommit = true
-	tp := autodiff.NewTape()
+	tp := tapePool.Get().(*autodiff.Tape)
+	tp.Owned(view.Feat)
 	emb := t.Model.Forward(tp, view)
-	l := t.buildLoss(tp, emb, fullMaterial(t.G, t.Workload))
+	l := t.buildLoss(tp, emb, fullMaterial(t.G, t.Workload), t.rng)
 	if l == nil {
+		putTape(tp)
 		return 0, false
 	}
 	loss = l.Value.Data[0]
 	tp.Backward(l)
 	t.Opt.Step()
+	putTape(tp)
 	return loss, true
 }
 
 // EvalPartition measures node v's partition loss without updating anything
 // (used by what-if analyses and tests).
 func (t *Trainer) EvalPartition(v int) (utility float64, ok bool) {
-	sub := t.G.Partition(v, t.Model.Layers())
-	view := dgnn.SubView(sub)
-	view.NoCommit = true
-	tp := autodiff.NewTape()
-	emb := t.Model.Forward(tp, view)
-	loss := t.buildLoss(tp, emb, t.partitionMaterial(v, sub))
-	if loss == nil {
+	u := t.evalUnit(v, t.rng)
+	if !u.OK {
 		return 0, false
 	}
-	return loss.Value.Data[0], true
+	t.DiscardUnit(u)
+	return u.Utility, true
 }
 
 // material is the training signal available in one unit of work.
@@ -133,8 +237,9 @@ type material struct {
 // self-supervision from v itself and its incident labeled edges (the
 // partition's own share of the self-supervised work), and supervised query
 // targets from every anchor inside G_v (the queries whose relevant data
-// overlaps the partition).
-func (t *Trainer) partitionMaterial(v int, sub *graph.Subgraph) material {
+// overlaps the partition). rng is the unit's private source for negative
+// sampling (never the trainer's shared one when units run concurrently).
+func (t *Trainer) partitionMaterial(v int, sub *graph.Subgraph, rng *rand.Rand) material {
 	m := material{replay: true, center: sub.Center}
 	center := sub.Center
 	if y, ok := t.G.Label(v); ok {
@@ -150,7 +255,7 @@ func (t *Trainer) partitionMaterial(v int, sub *graph.Subgraph) material {
 		}
 	}
 	if t.Workload != nil {
-		sup := t.Workload.Supervision(sub)
+		sup := t.Workload.Supervision(sub, rng)
 		if t.BallSupervision {
 			m.sup = sup
 		} else {
@@ -174,7 +279,7 @@ func (t *Trainer) partitionMaterial(v int, sub *graph.Subgraph) material {
 			}
 		}
 	}
-	if lt := linkTaskOf(t.Workload); lt != nil && t.rng != nil && sub.N() > 2 {
+	if lt := linkTaskOf(t.Workload); lt != nil && rng != nil && sub.N() > 2 {
 		// Structural self-supervision for link workloads (Section III-B:
 		// "predicting chosen nodes/links in the network"): the center's
 		// current edges are positives. Negatives pair the center with
@@ -198,7 +303,7 @@ func (t *Trainer) partitionMaterial(v int, sub *graph.Subgraph) material {
 		}
 		if n := lt.NumEmbedded(); n > 1 && count > 0 {
 			for k := 0; k < 2*count; k++ {
-				nv := t.rng.Intn(n)
+				nv := rng.Intn(n)
 				if nv == v {
 					continue
 				}
@@ -233,10 +338,15 @@ func fullMaterial(g *graph.Dynamic, w *query.Workload) material {
 }
 
 // buildLoss assembles the weighted training loss over emb for the given
-// material; it returns nil when no targets are available.
-func (t *Trainer) buildLoss(tp *autodiff.Tape, emb *autodiff.Node, m material) *autodiff.Node {
+// material; it returns nil when no targets are available. rng draws the
+// replay minibatches; stats counters are updated atomically so concurrent
+// unit evaluation stays race-free.
+func (t *Trainer) buildLoss(tp *autodiff.Tape, emb *autodiff.Node, m material, rng *rand.Rand) *autodiff.Node {
 	heads := t.Workload.Heads()
 	var total *autodiff.Node
+	// cv builds a tape-owned target column so its buffer is recycled with
+	// the tape instead of leaking from the buffer pool every unit.
+	cv := func(vals []float64) *tensor.Matrix { return tp.Owned(colVec(vals)) }
 	add := func(term *autodiff.Node, weight float64) {
 		if weight != 1 {
 			term = tp.Scale(term, weight)
@@ -249,23 +359,23 @@ func (t *Trainer) buildLoss(tp *autodiff.Tape, emb *autodiff.Node, m material) *
 	}
 	if len(m.selfNodeRows) > 0 {
 		pred := heads.SelfNode.Apply(tp, tp.GatherRows(emb, m.selfNodeRows))
-		add(tp.MSE(pred, colVec(m.selfNodeTargets)), t.SelfWeight)
-		t.Stats.SelfNodeTargets += len(m.selfNodeRows)
+		add(tp.MSE(pred, cv(m.selfNodeTargets)), t.SelfWeight)
+		atomic.AddInt64(&t.Stats.SelfNodeTargets, int64(len(m.selfNodeRows)))
 	}
 	if len(m.selfEdgeSrc) > 0 {
 		pred := heads.SelfEdge.Apply(tp, query.PairInput(tp, emb, m.selfEdgeSrc, m.selfEdgeDst))
-		add(tp.MSE(pred, colVec(m.selfEdgeTargets)), t.SelfWeight)
-		t.Stats.SelfEdgeTargets += len(m.selfEdgeSrc)
+		add(tp.MSE(pred, cv(m.selfEdgeTargets)), t.SelfWeight)
+		atomic.AddInt64(&t.Stats.SelfEdgeTargets, int64(len(m.selfEdgeSrc)))
 	}
 	if len(m.sup.NodeRows) > 0 {
 		pred := heads.Event.Apply(tp, tp.GatherRows(emb, m.sup.NodeRows))
-		add(tp.MSE(pred, colVec(m.sup.NodeTargets)), t.SupWeight)
-		t.Stats.SupNodeTargets += len(m.sup.NodeRows)
+		add(tp.MSE(pred, cv(m.sup.NodeTargets)), t.SupWeight)
+		atomic.AddInt64(&t.Stats.SupNodeTargets, int64(len(m.sup.NodeRows)))
 	}
 	if len(m.sup.PairSrc) > 0 {
 		logits := heads.Link.Apply(tp, query.PairInput(tp, emb, m.sup.PairSrc, m.sup.PairDst))
-		add(tp.BCEWithLogits(logits, colVec(m.sup.PairLabels)), t.SupWeight)
-		t.Stats.SupPairTargets += len(m.sup.PairSrc)
+		add(tp.BCEWithLogits(logits, cv(m.sup.PairLabels)), t.SupWeight)
+		atomic.AddInt64(&t.Stats.SupPairTargets, int64(len(m.sup.PairSrc)))
 	}
 	if len(m.linkNegRows) > 0 && m.center >= 0 {
 		k := len(m.linkNegRows)
@@ -274,27 +384,27 @@ func (t *Trainer) buildLoss(tp *autodiff.Tape, emb *autodiff.Node, m material) *
 			idx[i] = m.center
 		}
 		centerRep := tp.GatherRows(emb, idx)
-		negs := tensor.New(k, len(m.linkNegRows[0]))
+		negs := tp.Owned(tensor.New(k, len(m.linkNegRows[0])))
 		for i, row := range m.linkNegRows {
 			copy(negs.Row(i), row)
 		}
 		nc := autodiff.Constant(negs)
 		in := tp.ConcatCols(tp.ConcatCols(centerRep, nc), tp.Mul(centerRep, nc))
 		logits := heads.Link.Apply(tp, in)
-		add(tp.BCEWithLogits(logits, tensor.New(k, 1)), t.SelfWeight)
-		t.Stats.SelfEdgeTargets += k
+		add(tp.BCEWithLogits(logits, tp.Owned(tensor.New(k, 1))), t.SelfWeight)
+		atomic.AddInt64(&t.Stats.SelfEdgeTargets, int64(k))
 	}
-	if m.replay && t.Workload != nil && t.ReplaySize > 0 && t.rng != nil {
-		if re, truths := t.Workload.ReplayBatch(t.rng, t.ReplaySize); re != nil {
-			pred := heads.Event.Apply(tp, autodiff.Constant(re))
-			add(tp.MSE(pred, colVec(truths)), t.SupWeight)
-			t.Stats.ReplayTargets += len(truths)
+	if m.replay && t.Workload != nil && t.ReplaySize > 0 && rng != nil {
+		if re, truths := t.Workload.ReplayBatch(rng, t.ReplaySize); re != nil {
+			pred := heads.Event.Apply(tp, autodiff.Constant(tp.Owned(re)))
+			add(tp.MSE(pred, cv(truths)), t.SupWeight)
+			atomic.AddInt64(&t.Stats.ReplayTargets, int64(len(truths)))
 		}
 		if lt := t.Workload.LinkTask(); lt != nil {
-			if re, labels := lt.ReplayBatch(t.rng, t.ReplaySize); re != nil {
-				logits := heads.Link.Apply(tp, autodiff.Constant(re))
-				add(tp.BCEWithLogits(logits, colVec(labels)), t.SupWeight)
-				t.Stats.ReplayTargets += len(labels)
+			if re, labels := lt.ReplayBatch(rng, t.ReplaySize); re != nil {
+				logits := heads.Link.Apply(tp, autodiff.Constant(tp.Owned(re)))
+				add(tp.BCEWithLogits(logits, cv(labels)), t.SupWeight)
+				atomic.AddInt64(&t.Stats.ReplayTargets, int64(len(labels)))
 			}
 		}
 	}

@@ -61,8 +61,15 @@ func (s *nodeState) maxID(v View) int {
 
 // gather returns the state rows for the view's nodes (a copy). NoCommit
 // views read the BeginStep snapshot when one exists.
+//
+// NoCommit gathers are strictly read-only: nodes the state has never seen
+// read as zero rows instead of growing the state, exactly the values ensure
+// would append. Training forwards (always NoCommit) therefore never mutate
+// shared model state and can run concurrently on worker goroutines.
 func (s *nodeState) gather(v View) *tensor.Matrix {
-	s.ensure(s.maxID(v) + 1)
+	if !v.NoCommit {
+		s.ensure(s.maxID(v) + 1)
+	}
 	src := s.data
 	if v.NoCommit && s.prev != nil {
 		src = s.prev
@@ -71,11 +78,13 @@ func (s *nodeState) gather(v View) *tensor.Matrix {
 	for i := 0; i < v.N; i++ {
 		id := v.globalID(i)
 		off := id * s.dim
-		if off+s.dim <= len(src) {
+		switch {
+		case off+s.dim <= len(src):
 			copy(out.Row(i), src[off:off+s.dim])
-		} else {
+		case off+s.dim <= len(s.data):
 			copy(out.Row(i), s.data[off:off+s.dim])
 		}
+		// Otherwise the node has no stored state yet; its row stays zero.
 	}
 	return out
 }

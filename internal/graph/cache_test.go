@@ -1,0 +1,160 @@
+package graph
+
+import (
+	"testing"
+
+	"streamgnn/internal/tensor"
+)
+
+// sameCSR reports bit-identical sparse structure and values.
+func sameCSR(a, b *tensor.CSR) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.NRows != b.NRows || a.NCols != b.NCols {
+		return false
+	}
+	if len(a.RowPtr) != len(b.RowPtr) || len(a.ColIdx) != len(b.ColIdx) || len(a.Val) != len(b.Val) {
+		return false
+	}
+	for i := range a.RowPtr {
+		if a.RowPtr[i] != b.RowPtr[i] {
+			return false
+		}
+	}
+	for i := range a.ColIdx {
+		if a.ColIdx[i] != b.ColIdx[i] {
+			return false
+		}
+	}
+	for i := range a.Val {
+		if a.Val[i] != b.Val[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sameSubgraph reports bit-identical node sets, centers and operators.
+func sameSubgraph(a, b *Subgraph) bool {
+	if a.N() != b.N() || a.Center != b.Center {
+		return false
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] {
+			return false
+		}
+	}
+	return sameCSR(a.NormAdj(), b.NormAdj()) &&
+		sameCSR(a.RWAdj(false), b.RWAdj(false)) &&
+		sameCSR(a.RWAdj(true), b.RWAdj(true))
+}
+
+// TestPartitionCacheBitIdentical drives the same mutation script against a
+// cached and an uncached copy of the graph and asserts every cached
+// extraction is bit-identical to a fresh build — including after mutations
+// inside and outside the ball.
+func TestPartitionCacheBitIdentical(t *testing.T) {
+	cached, fresh := chain(12), chain(12)
+	cached.EnablePartitionCache(64)
+
+	check := func(when string) {
+		t.Helper()
+		for _, v := range []int{0, 4, 6, 11} {
+			a, b := cached.Partition(v, 2), fresh.Partition(v, 2)
+			if !sameSubgraph(a, b) {
+				t.Fatalf("%s: cached partition of %d differs from fresh build", when, v)
+			}
+		}
+	}
+	check("cold")
+	check("warm") // second pass hits the cache
+	if s := cached.PartitionCacheStats(); s.Hits == 0 {
+		t.Fatalf("warm pass recorded no hits: %+v", s)
+	}
+
+	// Mutation inside the ball of node 4: must invalidate and rebuild.
+	cached.AddUndirectedEdge(3, 5, 0, 100)
+	fresh.AddUndirectedEdge(3, 5, 0, 100)
+	check("after in-ball edge")
+
+	// Feature change inside the ball of node 6.
+	cached.SetFeature(7, []float64{9, 9})
+	fresh.SetFeature(7, []float64{9, 9})
+	check("after feature change")
+
+	// Mutation far from node 0's 2-hop ball: its entry must survive as a hit
+	// and still match the fresh build.
+	pre := cached.PartitionCacheStats()
+	cached.AddUndirectedEdge(9, 11, 0, 101)
+	fresh.AddUndirectedEdge(9, 11, 0, 101)
+	a, b := cached.Partition(0, 2), fresh.Partition(0, 2)
+	if !sameSubgraph(a, b) {
+		t.Fatal("out-of-ball mutation corrupted cached partition")
+	}
+	if s := cached.PartitionCacheStats(); s.Hits != pre.Hits+1 {
+		t.Fatalf("out-of-ball mutation evicted a survivable entry: %+v -> %+v", pre, s)
+	}
+
+	// Window expiry drops early chain edges; both graphs change identically.
+	cached.ExpireEdgesBefore(3)
+	fresh.ExpireEdgesBefore(3)
+	check("after expiry")
+}
+
+func TestPartitionCacheCounters(t *testing.T) {
+	g := chain(10)
+	g.EnablePartitionCache(32)
+	g.Partition(5, 2) // miss
+	g.Partition(5, 2) // hit
+	g.Partition(5, 1) // distinct key: miss
+	s := g.PartitionCacheStats()
+	if s.Misses != 2 || s.Hits != 1 || s.Size != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+	if got := s.HitRate(); got <= 0.33 || got >= 0.34 {
+		t.Fatalf("hit rate %v", got)
+	}
+	g.AddUndirectedEdge(5, 7, 0, 50) // inside both balls
+	if s = g.PartitionCacheStats(); s.Invalidations != 2 || s.Size != 0 {
+		t.Fatalf("invalidation stats %+v", s)
+	}
+}
+
+func TestPartitionCacheEviction(t *testing.T) {
+	g := chain(12)
+	g.EnablePartitionCache(2)
+	g.Partition(1, 1)
+	g.Partition(5, 1)
+	g.Partition(9, 1) // evicts LRU (node 1)
+	s := g.PartitionCacheStats()
+	if s.Evictions != 1 || s.Size != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+	pre := s
+	g.Partition(1, 1) // must rebuild: a miss, evicting node 5's entry
+	if s = g.PartitionCacheStats(); s.Misses != pre.Misses+1 || s.Evictions != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+	// The evicted entries' inverted-index rows must be scrubbed: touching a
+	// member of an evicted ball (5) affects no live entry, so nothing is
+	// invalidated and both live entries survive.
+	g.AddUndirectedEdge(5, 6, 0, 60)
+	if s = g.PartitionCacheStats(); s.Size != 2 || s.Invalidations != 0 {
+		t.Fatalf("stale index entry survived eviction: %+v", s)
+	}
+}
+
+func TestPartitionCacheDisable(t *testing.T) {
+	g := chain(6)
+	g.EnablePartitionCache(8)
+	g.Partition(2, 1)
+	g.EnablePartitionCache(0) // detach
+	if g.PartitionCache() != nil {
+		t.Fatal("cache not detached")
+	}
+	g.Partition(2, 1) // must not panic without a cache
+	if s := g.PartitionCacheStats(); s.Size != 0 || s.Hits != 0 {
+		t.Fatalf("detached stats %+v", s)
+	}
+}

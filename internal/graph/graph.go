@@ -49,6 +49,15 @@ type Dynamic struct {
 	updated map[int]struct{}
 	version int64
 
+	// actDirty accumulates nodes whose incident edges or attributes changed
+	// since the last TakeActivityDirty. Unlike updated (the algorithmic set
+	// U, which window expiry deliberately does not feed), actDirty also
+	// records expiry-driven degree changes, so activity refreshes can be
+	// incremental.
+	actDirty map[int]struct{}
+
+	cache *PartitionCache
+
 	cacheVersion int64
 	normAdj      *tensor.CSR
 	rwFwd        *tensor.CSR
@@ -65,7 +74,11 @@ func NewDynamic(featDim int) *Dynamic {
 	if featDim <= 0 {
 		panic(fmt.Sprintf("graph: feature dimension must be positive, got %d", featDim))
 	}
-	return &Dynamic{featDim: featDim, updated: make(map[int]struct{})}
+	return &Dynamic{
+		featDim:  featDim,
+		updated:  make(map[int]struct{}),
+		actDirty: make(map[int]struct{}),
+	}
 }
 
 // N returns the number of nodes.
@@ -80,6 +93,10 @@ func (g *Dynamic) Version() int64 { return g.version }
 func (g *Dynamic) touch(v int) {
 	g.updated[v] = struct{}{}
 	g.version++
+	g.actDirty[v] = struct{}{}
+	if g.cache != nil {
+		g.cache.invalidate(v)
+	}
 }
 
 // AddNode appends a node of type t with the given attribute vector (padded
@@ -180,10 +197,13 @@ func (g *Dynamic) NumEdges() int {
 }
 
 // ExpireEdgesBefore drops every edge with Time < ts, implementing the
-// sliding-window view of the stream. Nodes are kept.
+// sliding-window view of the stream. Nodes are kept. Expiry does not feed
+// the update set U (Algorithm 1 reacts to new data, not to data aging out),
+// but it does mark affected nodes activity-dirty and invalidates their
+// cached partitions.
 func (g *Dynamic) ExpireEdgesBefore(ts int64) {
 	changed := false
-	filter := func(es []Edge) []Edge {
+	filter := func(es []Edge) ([]Edge, bool) {
 		k := 0
 		for _, e := range es {
 			if e.Time >= ts {
@@ -191,14 +211,19 @@ func (g *Dynamic) ExpireEdgesBefore(ts int64) {
 				k++
 			}
 		}
-		if k != len(es) {
-			changed = true
-		}
-		return es[:k]
+		return es[:k], k != len(es)
 	}
 	for v := range g.out {
-		g.out[v] = filter(g.out[v])
-		g.in[v] = filter(g.in[v])
+		var co, ci bool
+		g.out[v], co = filter(g.out[v])
+		g.in[v], ci = filter(g.in[v])
+		if co || ci {
+			changed = true
+			g.actDirty[v] = struct{}{}
+			if g.cache != nil {
+				g.cache.invalidate(v)
+			}
+		}
 	}
 	if changed {
 		g.version++
@@ -220,6 +245,23 @@ func (g *Dynamic) Updated() []int {
 // ResetUpdated clears the update set (called once per training step).
 func (g *Dynamic) ResetUpdated() {
 	g.updated = make(map[int]struct{})
+}
+
+// TakeActivityDirty drains and returns, in ascending order, the nodes whose
+// incident edges or attributes changed since the previous call (including
+// window expiry). AdaptiveLearner.refreshActivity uses it to update sampling
+// eligibility incrementally instead of rescanning all n nodes per step.
+func (g *Dynamic) TakeActivityDirty() []int {
+	if len(g.actDirty) == 0 {
+		return nil
+	}
+	ids := make([]int, 0, len(g.actDirty))
+	for v := range g.actDirty {
+		ids = append(ids, v)
+	}
+	g.actDirty = make(map[int]struct{})
+	sort.Ints(ids)
+	return ids
 }
 
 // Features returns the n×FeatDim attribute matrix (copy).
@@ -279,33 +321,37 @@ func (g *Dynamic) RWAdj(reverse bool) *tensor.CSR {
 
 // KHopBall returns the nodes within L hops of v (including v), treating
 // edges as undirected, in ascending id order. This is the node set of v's
-// training partition G_v from Section III-C.
+// training partition G_v from Section III-C. Visited marks live in a pooled
+// scratch slice instead of a per-call map.
 func (g *Dynamic) KHopBall(v, L int) []int {
 	g.checkNode(v)
-	seen := map[int]struct{}{v: {}}
-	frontier := []int{v}
-	for hop := 0; hop < L; hop++ {
+	seen := getScratch(len(g.ntype))
+	seen[v] = 1
+	ids := []int{v}
+	frontier := ids
+	for hop := 0; hop < L && len(frontier) > 0; hop++ {
 		var next []int
 		for _, u := range frontier {
 			for _, e := range g.out[u] {
-				if _, ok := seen[e.To]; !ok {
-					seen[e.To] = struct{}{}
+				if seen[e.To] == 0 {
+					seen[e.To] = 1
 					next = append(next, e.To)
 				}
 			}
 			for _, e := range g.in[u] {
-				if _, ok := seen[e.To]; !ok {
-					seen[e.To] = struct{}{}
+				if seen[e.To] == 0 {
+					seen[e.To] = 1
 					next = append(next, e.To)
 				}
 			}
 		}
+		ids = append(ids, next...)
 		frontier = next
 	}
-	ids := make([]int, 0, len(seen))
-	for u := range seen {
-		ids = append(ids, u)
+	for _, u := range ids {
+		seen[u] = 0
 	}
+	putScratch(seen)
 	sort.Ints(ids)
 	return ids
 }

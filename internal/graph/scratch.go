@@ -1,0 +1,30 @@
+package graph
+
+import "sync"
+
+// scratchPool recycles the per-call []int32 working buffers used as
+// global-id-indexed marker tables: local-index maps in Subgraph.build and
+// visited marks in KHopBall. Replacing the former map[int]int{} per call
+// removes the dominant allocation of partition extraction.
+//
+// Invariant: every buffer in the pool is fully zeroed. getScratch returns
+// buffers without re-zeroing; callers must zero exactly the entries they set
+// before calling putScratch. The pool is safe for concurrent use, so
+// partition extraction can run on worker goroutines.
+var scratchPool sync.Pool
+
+// getScratch returns an all-zero length-n int32 slice.
+func getScratch(n int) []int32 {
+	if p, ok := scratchPool.Get().(*[]int32); ok {
+		if s := *p; cap(s) >= n {
+			return s[:n]
+		}
+		// Too small for this graph; drop it and grow.
+	}
+	return make([]int32, n)
+}
+
+// putScratch returns s to the pool. s must be fully zeroed again.
+func putScratch(s []int32) {
+	scratchPool.Put(&s)
+}

@@ -13,13 +13,16 @@ import (
 // backward passes during weighted training run on a Subgraph instead of the
 // full snapshot, which is where the paper's O(d^L) vs O(n) resource saving
 // comes from.
+//
+// A Subgraph is immutable once built (the structural fields below are never
+// rewritten), so instances may be cached and shared across goroutines.
+// Features, LabeledNodes and LabeledEdges read through to the live graph.
 type Subgraph struct {
-	// Nodes maps local index -> global node id (ascending).
+	// Nodes maps local index -> global node id (ascending, unique).
 	Nodes []int
 	// Center is the local index of the partition's center node, or -1.
 	Center int
 
-	local   map[int]int
 	g       *Dynamic
 	version int64
 
@@ -31,20 +34,19 @@ type Subgraph struct {
 // Induced returns the subgraph induced by the given global node ids
 // (deduplicated, ascending). center, if non-negative, must be among nodes.
 func (g *Dynamic) Induced(nodes []int, center int) *Subgraph {
-	s := &Subgraph{g: g, version: g.version, Center: -1, local: make(map[int]int, len(nodes))}
-	sorted := append([]int(nil), nodes...)
-	sort.Ints(sorted)
-	for _, v := range sorted {
-		g.checkNode(v)
-		if _, dup := s.local[v]; dup {
-			continue
-		}
-		s.local[v] = len(s.Nodes)
-		s.Nodes = append(s.Nodes, v)
+	s := &Subgraph{g: g, version: g.version, Center: -1}
+	owned := append([]int(nil), nodes...)
+	if !sortedUnique(owned) {
+		sort.Ints(owned)
+		owned = dedupSorted(owned)
 	}
+	for _, v := range owned {
+		g.checkNode(v)
+	}
+	s.Nodes = owned
 	if center >= 0 {
-		li, ok := s.local[center]
-		if !ok {
+		li := s.LocalID(center)
+		if li < 0 {
 			panic(fmt.Sprintf("graph: center %d not in induced node set", center))
 		}
 		s.Center = li
@@ -53,18 +55,52 @@ func (g *Dynamic) Induced(nodes []int, center int) *Subgraph {
 	return s
 }
 
+// sortedUnique reports whether ids is strictly ascending (the order KHopBall
+// already produces, letting Induced skip its sort+dedup pass).
+func sortedUnique(ids []int) bool {
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+func dedupSorted(ids []int) []int {
+	k := 0
+	for i, v := range ids {
+		if i == 0 || v != ids[k-1] {
+			ids[k] = v
+			k++
+		}
+	}
+	return ids[:k]
+}
+
 // Partition returns node v's training partition: the induced subgraph of
-// v's L-hop neighborhood with v as center (Section III-C).
+// v's L-hop neighborhood with v as center (Section III-C). When a partition
+// cache is attached (EnablePartitionCache), warm extractions are served from
+// it; invalidation is handled by the mutation path (see PartitionCache).
 func (g *Dynamic) Partition(v, L int) *Subgraph {
+	if g.cache != nil {
+		if s := g.cache.get(v, L); s != nil {
+			return s
+		}
+		s := g.Induced(g.KHopBall(v, L), v)
+		g.cache.put(v, L, s)
+		return s
+	}
 	return g.Induced(g.KHopBall(v, L), v)
 }
 
 // N returns the number of nodes in the subgraph.
 func (s *Subgraph) N() int { return len(s.Nodes) }
 
-// LocalID returns the local index of global node v, or -1.
+// LocalID returns the local index of global node v, or -1. Nodes is sorted,
+// so this is a binary search — no per-subgraph map is kept.
 func (s *Subgraph) LocalID(v int) int {
-	if li, ok := s.local[v]; ok {
+	li := sort.SearchInts(s.Nodes, v)
+	if li < len(s.Nodes) && s.Nodes[li] == v {
 		return li
 	}
 	return -1
@@ -79,49 +115,49 @@ func (s *Subgraph) GlobalID(li int) int { return s.Nodes[li] }
 // the center of an L-hop partition computed on the subgraph equals its
 // full-graph embedding — edges to nodes outside the subgraph simply
 // contribute nothing (they are outside the center's receptive field anyway).
+//
+// The global->local index map is a pooled scratch slice (value = local index
+// + 1, 0 = absent) rather than a per-call map[int]int.
 func (s *Subgraph) build() {
 	n := len(s.Nodes)
-	type halfEdge struct{ to int }
-	outs := make([][]halfEdge, n)
-	ins := make([][]halfEdge, n)
-	outDeg := make([]int, n)
-	inDeg := make([]int, n)
+	loc := getScratch(s.g.N())
 	for li, v := range s.Nodes {
-		outDeg[li] = len(s.g.out[v])
-		inDeg[li] = len(s.g.in[v])
-		for _, e := range s.g.out[v] {
-			if lj, ok := s.local[e.To]; ok {
-				outs[li] = append(outs[li], halfEdge{lj})
-			}
-		}
-		for _, e := range s.g.in[v] {
-			if lj, ok := s.local[e.To]; ok {
-				ins[li] = append(ins[li], halfEdge{lj})
-			}
-		}
+		loc[v] = int32(li + 1)
 	}
 	deg := make([]float64, n)
-	for li := range s.Nodes {
-		deg[li] = float64(outDeg[li]+inDeg[li]) + 1 // global degree + self loop
+	for li, v := range s.Nodes {
+		deg[li] = float64(len(s.g.out[v])+len(s.g.in[v])) + 1 // global degree + self loop
 	}
 	sym := make([][]tensor.CSREntry, n)
 	fwd := make([][]tensor.CSREntry, n)
 	rev := make([][]tensor.CSREntry, n)
-	for li := range s.Nodes {
+	for li, v := range s.Nodes {
 		dv := math.Sqrt(deg[li])
 		sym[li] = append(sym[li], tensor.CSREntry{Col: li, Val: 1 / deg[li]})
-		for _, e := range outs[li] {
-			sym[li] = append(sym[li], tensor.CSREntry{Col: e.to, Val: 1 / (dv * math.Sqrt(deg[e.to]))})
-			fwd[li] = append(fwd[li], tensor.CSREntry{Col: e.to, Val: 1 / float64(max(1, outDeg[li]))})
+		outDeg := len(s.g.out[v])
+		inDeg := len(s.g.in[v])
+		for _, e := range s.g.out[v] {
+			if lj := loc[e.To]; lj != 0 {
+				j := int(lj - 1)
+				sym[li] = append(sym[li], tensor.CSREntry{Col: j, Val: 1 / (dv * math.Sqrt(deg[j]))})
+				fwd[li] = append(fwd[li], tensor.CSREntry{Col: j, Val: 1 / float64(max(1, outDeg))})
+			}
 		}
-		for _, e := range ins[li] {
-			sym[li] = append(sym[li], tensor.CSREntry{Col: e.to, Val: 1 / (dv * math.Sqrt(deg[e.to]))})
-			rev[li] = append(rev[li], tensor.CSREntry{Col: e.to, Val: 1 / float64(max(1, inDeg[li]))})
+		for _, e := range s.g.in[v] {
+			if lj := loc[e.To]; lj != 0 {
+				j := int(lj - 1)
+				sym[li] = append(sym[li], tensor.CSREntry{Col: j, Val: 1 / (dv * math.Sqrt(deg[j]))})
+				rev[li] = append(rev[li], tensor.CSREntry{Col: j, Val: 1 / float64(max(1, inDeg))})
+			}
 		}
 	}
 	s.normAdj = tensor.NewCSR(n, n, sym)
 	s.rwFwd = tensor.NewCSR(n, n, fwd)
 	s.rwRev = tensor.NewCSR(n, n, rev)
+	for _, v := range s.Nodes {
+		loc[v] = 0
+	}
+	putScratch(loc)
 }
 
 // NormAdj returns the subgraph's symmetric GCN-normalized adjacency.
@@ -163,7 +199,7 @@ func (s *Subgraph) LabeledEdges() (src, dst []int, labels []float64) {
 			if !e.HasLabel() {
 				continue
 			}
-			if lj, ok := s.local[e.To]; ok {
+			if lj := s.LocalID(e.To); lj >= 0 {
 				src = append(src, li)
 				dst = append(dst, lj)
 				labels = append(labels, e.Label)

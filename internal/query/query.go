@@ -301,9 +301,15 @@ func (w *Workload) SupervisionFull(n int) Supervision {
 }
 
 // Supervision collects the workload's supervised targets that fall inside
-// the given subgraph (a node's training partition).
-func (w *Workload) Supervision(sub *graph.Subgraph) Supervision {
+// the given subgraph (a node's training partition). rng draws the balancing
+// in-partition negatives; pass the training unit's private rng when units
+// are evaluated concurrently (nil falls back to the link task's own rng,
+// which is only safe single-threaded).
+func (w *Workload) Supervision(sub *graph.Subgraph, rng *rand.Rand) Supervision {
 	var sup Supervision
+	if rng == nil && w.link != nil {
+		rng = w.link.rng
+	}
 	for li, v := range sub.Nodes {
 		if t, ok := w.revealed[v]; ok {
 			sup.NodeRows = append(sup.NodeRows, li)
@@ -324,7 +330,7 @@ func (w *Workload) Supervision(sub *graph.Subgraph) Supervision {
 				// endpoints inside a small partition, so balance each
 				// positive with negatives drawn inside the subgraph.
 				for k := 0; k < w.link.NegPerPos; k++ {
-					nv := w.link.rng.Intn(sub.N())
+					nv := rng.Intn(sub.N())
 					if nv == lu || nv == lv {
 						continue
 					}

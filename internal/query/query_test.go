@@ -127,14 +127,14 @@ func TestSupervisionFromSubgraph(t *testing.T) {
 	w.Predict(tensor.NewRandom(rng, 6, 4, 1), 0)
 	w.Reveal(g, 1)
 	sub := g.Partition(1, 1) // nodes {0,1,2}
-	sup := w.Supervision(sub)
+	sup := w.Supervision(sub, nil)
 	if len(sup.NodeRows) != 1 || sup.NodeTargets[0] != 1 {
 		t.Fatalf("supervision = %+v", sup)
 	}
 	if sup.Empty() {
 		t.Fatal("Empty() wrong")
 	}
-	empty := w.Supervision(g.Partition(3, 0))
+	empty := w.Supervision(g.Partition(3, 0), nil)
 	if !empty.Empty() {
 		t.Fatal("partition without anchors should be empty")
 	}
@@ -182,7 +182,7 @@ func TestLinkPredRevealAndRanks(t *testing.T) {
 	}
 	// Supervision pairs inside a subgraph containing 0 and 3.
 	sub := g.Induced([]int{0, 3}, -1)
-	sup := w.Supervision(sub)
+	sup := w.Supervision(sub, nil)
 	foundPos := false
 	for i := range sup.PairSrc {
 		if sup.PairLabels[i] == 1 {

@@ -1,0 +1,173 @@
+package tensor
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// Buffer pooling for tape intermediates. Training builds and discards a full
+// set of matrices per partition; recycling those buffers through a sized-class
+// sync.Pool removes the dominant source of GC pressure on the hot path.
+//
+// Pooling is orthogonal to the allocation meter: New always records the
+// logical allocation, whether the backing slice came from the pool or from
+// make, so metered working-set numbers stay comparable with pooling on or off.
+
+var poolEnabled int32
+
+// 1<<poolClasses is the largest pooled buffer (2^26 floats = 512 MB); larger
+// requests always fall through to make.
+const poolClasses = 27
+
+// pools[c] holds *[]float64 with cap exactly 1<<c; contents are arbitrary
+// (grab zeroes the prefix it hands out).
+var pools [poolClasses]sync.Pool
+
+// rings[c] is a small bounded stack in front of pools[c]. sync.Pool is
+// drained on every GC cycle, so on an allocation-heavy training step the hot
+// buffer shapes are re-made from scratch right after each collection; the
+// ring keeps that working set alive across GCs. Retention is bounded at
+// ringFloats floats per class (larger classes hold proportionally fewer
+// buffers, the largest none), and overflow still drains through the
+// sync.Pool to the collector.
+type classRing struct {
+	mu sync.Mutex
+	// buf stores slice headers by value: pushing a buffer must not allocate
+	// (boxing a header into a *[]float64 costs a heap object per Recycle).
+	buf [][]float64
+}
+
+var rings [poolClasses]classRing
+
+// ringFloats caps the floats a class ring may retain (1<<20 floats = 8 MB).
+const ringFloats = 1 << 20
+
+// ringCap returns the maximum buffers ring c may hold.
+func ringCap(c int) int {
+	n := ringFloats >> uint(c)
+	if n > 64 {
+		n = 64
+	}
+	return n
+}
+
+// ringGet pops a buffer from ring c, or nil if the ring is empty.
+func ringGet(c int) []float64 {
+	r := &rings[c]
+	r.mu.Lock()
+	k := len(r.buf)
+	if k == 0 {
+		r.mu.Unlock()
+		return nil
+	}
+	s := r.buf[k-1]
+	r.buf[k-1] = nil
+	r.buf = r.buf[:k-1]
+	r.mu.Unlock()
+	return s
+}
+
+// ringPut offers a buffer to ring c; returns false when the ring is full.
+func ringPut(c int, s []float64) bool {
+	r := &rings[c]
+	r.mu.Lock()
+	if len(r.buf) >= ringCap(c) {
+		r.mu.Unlock()
+		return false
+	}
+	r.buf = append(r.buf, s)
+	r.mu.Unlock()
+	return true
+}
+
+// EnablePooling turns buffer recycling on or off process-wide. Off by
+// default; safe to toggle at any time (outstanding buffers are simply
+// garbage-collected).
+func EnablePooling(on bool) {
+	if on {
+		atomic.StoreInt32(&poolEnabled, 1)
+	} else {
+		atomic.StoreInt32(&poolEnabled, 0)
+	}
+}
+
+// PoolingEnabled reports whether buffer recycling is active.
+func PoolingEnabled() bool { return atomic.LoadInt32(&poolEnabled) != 0 }
+
+// sizeClass returns the pool class for n floats, or -1 if n is not poolable.
+func sizeClass(n int) int {
+	if n <= 0 {
+		return -1
+	}
+	c := bits.Len(uint(n - 1)) // smallest c with 1<<c >= n
+	if c >= poolClasses {
+		return -1
+	}
+	return c
+}
+
+// grab returns a zeroed length-n slice, drawn from the pool when possible.
+func grab(n int) []float64 {
+	if atomic.LoadInt32(&poolEnabled) != 0 {
+		if c := sizeClass(n); c >= 0 {
+			s := ringGet(c)
+			if s == nil {
+				if p, ok := pools[c].Get().(*[]float64); ok {
+					s = *p
+				}
+			}
+			if s != nil {
+				s = s[:n]
+				for i := range s {
+					s[i] = 0
+				}
+				return s
+			}
+			return make([]float64, n, 1<<c)
+		}
+	}
+	return make([]float64, n)
+}
+
+// grabUninit is grab without the zeroing pass: pooled buffers come back with
+// arbitrary contents. Only for callers that write every element before any
+// read (make-backed buffers are zeroed by the runtime regardless).
+func grabUninit(n int) []float64 {
+	if atomic.LoadInt32(&poolEnabled) != 0 {
+		if c := sizeClass(n); c >= 0 {
+			s := ringGet(c)
+			if s == nil {
+				if p, ok := pools[c].Get().(*[]float64); ok {
+					s = *p
+				}
+			}
+			if s != nil {
+				return s[:n]
+			}
+			return make([]float64, n, 1<<c)
+		}
+	}
+	return make([]float64, n)
+}
+
+// Recycle returns m's backing buffer to the pool and detaches it from m, so
+// a stale reference to the matrix fails loudly instead of reading recycled
+// data. Only buffers whose capacity is an exact size class are pooled;
+// anything else (including matrices built with FromSlice over foreign
+// storage) is left to the garbage collector. No-op when pooling is off.
+func Recycle(m *Matrix) {
+	if m == nil || atomic.LoadInt32(&poolEnabled) == 0 {
+		return
+	}
+	s := m.Data
+	m.Data = nil
+	c := sizeClass(cap(s))
+	if c < 0 || cap(s) != 1<<c {
+		return
+	}
+	s = s[:cap(s)]
+	if !ringPut(c, s) {
+		pools[c].Put(&s)
+	}
+}

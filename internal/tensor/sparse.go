@@ -56,19 +56,26 @@ func SpMM(c *CSR, x *Matrix) *Matrix {
 		panic(fmt.Sprintf("tensor: SpMM inner mismatch %dx%d · %dx%d", c.NRows, c.NCols, x.Rows, x.Cols))
 	}
 	out := New(c.NRows, x.Cols)
-	parRange(c.NRows, func(lo, hi int) {
-		for r := lo; r < hi; r++ {
-			orow := out.Row(r)
-			for p := c.RowPtr[r]; p < c.RowPtr[r+1]; p++ {
-				v := c.Val[p]
-				xrow := x.Row(c.ColIdx[p])
-				for j, xv := range xrow {
-					orow[j] += v * xv
-				}
+	if Parallelism() <= 1 || c.NRows < 2*parThreshold {
+		// Serial fast path: avoids heap-allocating the shard closure.
+		spMMRange(c, x, out, 0, c.NRows)
+		return out
+	}
+	parRange(c.NRows, func(lo, hi int) { spMMRange(c, x, out, lo, hi) })
+	return out
+}
+
+func spMMRange(c *CSR, x, out *Matrix, lo, hi int) {
+	for r := lo; r < hi; r++ {
+		orow := out.Row(r)
+		for p := c.RowPtr[r]; p < c.RowPtr[r+1]; p++ {
+			v := c.Val[p]
+			xrow := x.Row(c.ColIdx[p])
+			for j, xv := range xrow {
+				orow[j] += v * xv
 			}
 		}
-	})
-	return out
+	}
 }
 
 // SpMMTrans returns cᵀ·x for dense x (used for gradients through SpMM).

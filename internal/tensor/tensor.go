@@ -21,13 +21,27 @@ type Matrix struct {
 	Data       []float64
 }
 
-// New returns a zeroed rows×cols matrix.
+// New returns a zeroed rows×cols matrix. When pooling is enabled (see
+// EnablePooling) the backing buffer may be drawn from the recycle pool; the
+// allocation meter records the logical allocation either way.
 func New(rows, cols int) *Matrix {
 	if rows < 0 || cols < 0 {
 		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
 	}
 	recordAlloc(rows * cols)
-	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+	return &Matrix{Rows: rows, Cols: cols, Data: grab(rows * cols)}
+}
+
+// newUninit returns a rows×cols matrix whose contents are arbitrary when the
+// backing buffer comes from the recycle pool. Internal ops that write every
+// output element before any read use it to skip New's zeroing pass;
+// accumulating ops (MatMul, SpMM and friends) must use New.
+func newUninit(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
+	}
+	recordAlloc(rows * cols)
+	return &Matrix{Rows: rows, Cols: cols, Data: grabUninit(rows * cols)}
 }
 
 // FromSlice wraps data (row-major) in a rows×cols matrix without copying.
@@ -65,7 +79,7 @@ func (m *Matrix) Row(r int) []float64 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
 
 // Clone returns a deep copy of m.
 func (m *Matrix) Clone() *Matrix {
-	out := New(m.Rows, m.Cols)
+	out := newUninit(m.Rows, m.Cols)
 	copy(out.Data, m.Data)
 	return out
 }
@@ -144,22 +158,30 @@ func MatMul(a, b *Matrix) *Matrix {
 		panic(fmt.Sprintf("tensor: MatMul inner mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := New(a.Rows, b.Cols)
-	parRange(a.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Row(i)
-			orow := out.Row(i)
-			for k, av := range arow {
-				if av == 0 {
-					continue
-				}
-				brow := b.Row(k)
-				for j, bv := range brow {
-					orow[j] += av * bv
-				}
+	if Parallelism() <= 1 || a.Rows < 2*parThreshold {
+		// Serial fast path: calling matMulRange directly keeps the shard
+		// closure (which escapes through parRange) off the heap.
+		matMulRange(a, b, out, 0, a.Rows)
+		return out
+	}
+	parRange(a.Rows, func(lo, hi int) { matMulRange(a, b, out, lo, hi) })
+	return out
+}
+
+func matMulRange(a, b, out *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
 			}
 		}
-	})
-	return out
+	}
 }
 
 // MatMulTransB returns a·bᵀ.
@@ -167,7 +189,7 @@ func MatMulTransB(a, b *Matrix) *Matrix {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulTransB inner mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := New(a.Rows, b.Rows)
+	out := newUninit(a.Rows, b.Rows)
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Row(i)
 		orow := out.Row(i)
@@ -207,7 +229,7 @@ func MatMulTransA(a, b *Matrix) *Matrix {
 
 // Transpose returns mᵀ.
 func Transpose(m *Matrix) *Matrix {
-	out := New(m.Cols, m.Rows)
+	out := newUninit(m.Cols, m.Rows)
 	for r := 0; r < m.Rows; r++ {
 		row := m.Row(r)
 		for c, v := range row {
@@ -220,7 +242,7 @@ func Transpose(m *Matrix) *Matrix {
 // Add returns a+b.
 func Add(a, b *Matrix) *Matrix {
 	shapeCheck("Add", a, b)
-	out := New(a.Rows, a.Cols)
+	out := newUninit(a.Rows, a.Cols)
 	for i, v := range a.Data {
 		out.Data[i] = v + b.Data[i]
 	}
@@ -230,7 +252,7 @@ func Add(a, b *Matrix) *Matrix {
 // Sub returns a−b.
 func Sub(a, b *Matrix) *Matrix {
 	shapeCheck("Sub", a, b)
-	out := New(a.Rows, a.Cols)
+	out := newUninit(a.Rows, a.Cols)
 	for i, v := range a.Data {
 		out.Data[i] = v - b.Data[i]
 	}
@@ -240,7 +262,7 @@ func Sub(a, b *Matrix) *Matrix {
 // Mul returns the Hadamard (elementwise) product a∘b.
 func Mul(a, b *Matrix) *Matrix {
 	shapeCheck("Mul", a, b)
-	out := New(a.Rows, a.Cols)
+	out := newUninit(a.Rows, a.Cols)
 	for i, v := range a.Data {
 		out.Data[i] = v * b.Data[i]
 	}
@@ -249,7 +271,7 @@ func Mul(a, b *Matrix) *Matrix {
 
 // Scale returns s·m.
 func Scale(m *Matrix, s float64) *Matrix {
-	out := New(m.Rows, m.Cols)
+	out := newUninit(m.Rows, m.Cols)
 	for i, v := range m.Data {
 		out.Data[i] = v * s
 	}
@@ -277,7 +299,7 @@ func AddRowVector(m, v *Matrix) *Matrix {
 	if v.Rows != 1 || v.Cols != m.Cols {
 		panic(fmt.Sprintf("tensor: AddRowVector needs 1x%d, got %dx%d", m.Cols, v.Rows, v.Cols))
 	}
-	out := New(m.Rows, m.Cols)
+	out := newUninit(m.Rows, m.Cols)
 	for r := 0; r < m.Rows; r++ {
 		row := m.Row(r)
 		orow := out.Row(r)
@@ -290,7 +312,7 @@ func AddRowVector(m, v *Matrix) *Matrix {
 
 // Apply returns f applied elementwise to m.
 func Apply(m *Matrix, f func(float64) float64) *Matrix {
-	out := New(m.Rows, m.Cols)
+	out := newUninit(m.Rows, m.Cols)
 	for i, v := range m.Data {
 		out.Data[i] = f(v)
 	}
@@ -336,7 +358,7 @@ func (m *Matrix) Norm2() float64 {
 
 // GatherRows returns the matrix whose i-th row is m's rows[i]-th row.
 func GatherRows(m *Matrix, rows []int) *Matrix {
-	out := New(len(rows), m.Cols)
+	out := newUninit(len(rows), m.Cols)
 	for i, r := range rows {
 		copy(out.Row(i), m.Row(r))
 	}
@@ -359,7 +381,7 @@ func ConcatCols(a, b *Matrix) *Matrix {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("tensor: ConcatCols row mismatch %d vs %d", a.Rows, b.Rows))
 	}
-	out := New(a.Rows, a.Cols+b.Cols)
+	out := newUninit(a.Rows, a.Cols+b.Cols)
 	for r := 0; r < a.Rows; r++ {
 		copy(out.Row(r)[:a.Cols], a.Row(r))
 		copy(out.Row(r)[a.Cols:], b.Row(r))
@@ -372,7 +394,7 @@ func SliceCols(m *Matrix, from, to int) *Matrix {
 	if from < 0 || to > m.Cols || from > to {
 		panic(fmt.Sprintf("tensor: SliceCols [%d,%d) of %d cols", from, to, m.Cols))
 	}
-	out := New(m.Rows, to-from)
+	out := newUninit(m.Rows, to-from)
 	for r := 0; r < m.Rows; r++ {
 		copy(out.Row(r), m.Row(r)[from:to])
 	}

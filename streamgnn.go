@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
 
 	"streamgnn/internal/autodiff"
@@ -96,6 +97,20 @@ type Config struct {
 	// DriftDetection enables an online Page-Hinkley detector over the
 	// per-step query loss; see DriftDetected.
 	DriftDetection bool
+
+	// Workers is the number of goroutines evaluating training partitions
+	// concurrently in the adaptive strategies. 0 means 1 (serial); any
+	// negative value means runtime.NumCPU(). Seeded runs produce
+	// bit-identical results for every worker count — only wall-clock time
+	// changes.
+	Workers int
+	// PartitionCacheCap caps the version-keyed LRU cache of training
+	// partitions (see Stats.CacheHits). 0 means the default (256); negative
+	// disables caching.
+	PartitionCacheCap int
+	// DisablePooling turns off the tensor buffer pool that recycles tape
+	// intermediates between training units.
+	DisablePooling bool
 }
 
 // DefaultConfig returns the paper's default configuration with the KDE
@@ -141,6 +156,16 @@ func (c Config) fill() (Config, core.Config) {
 	}
 	if c.LearningRate > 0 {
 		cc.LR = c.LearningRate
+	}
+	if c.Workers < 0 {
+		cc.Workers = runtime.NumCPU()
+	} else if c.Workers > 0 {
+		cc.Workers = c.Workers
+	}
+	if c.PartitionCacheCap < 0 {
+		cc.PartitionCacheCap = 0
+	} else if c.PartitionCacheCap > 0 {
+		cc.PartitionCacheCap = c.PartitionCacheCap
 	}
 	return c, cc
 }
@@ -208,6 +233,16 @@ type Stats struct {
 	ChipEntropy float64
 	// TopChipNodes lists the highest-weight nodes (up to 5, descending).
 	TopChipNodes []int
+
+	// CacheHits/CacheMisses/CacheInvalidations count partition-cache
+	// activity; CacheHitRate is Hits/(Hits+Misses), 0 when caching is off.
+	CacheHits          int64
+	CacheMisses        int64
+	CacheInvalidations int64
+	CacheHitRate       float64
+	// ParallelUnits counts training units evaluated on worker goroutines
+	// (0 when Workers <= 1).
+	ParallelUnits int64
 }
 
 // Engine is the online continuous-learning query engine.
@@ -247,6 +282,9 @@ func NewEngine(featDim int, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Buffer pooling is process-wide; the engine turns it on unless asked
+	// not to (metered allocation accounting is identical either way).
+	tensor.EnablePooling(!cfg.DisablePooling)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	g := graph.NewDynamic(featDim)
 	model := dgnn.New(kind, rng, featDim, cfg.Hidden)
@@ -435,14 +473,20 @@ func (e *Engine) Stats() Stats {
 		return s
 	}
 	ts := e.sched.Trainer.Stats
-	s.SelfNodeTargets = ts.SelfNodeTargets
-	s.SelfEdgeTargets = ts.SelfEdgeTargets
-	s.SupNodeTargets = ts.SupNodeTargets
-	s.SupPairTargets = ts.SupPairTargets
-	s.ReplayTargets = ts.ReplayTargets
+	s.SelfNodeTargets = int(ts.SelfNodeTargets)
+	s.SelfEdgeTargets = int(ts.SelfEdgeTargets)
+	s.SupNodeTargets = int(ts.SupNodeTargets)
+	s.SupPairTargets = int(ts.SupPairTargets)
+	s.ReplayTargets = int(ts.ReplayTargets)
+	cs := e.g.PartitionCacheStats()
+	s.CacheHits = cs.Hits
+	s.CacheMisses = cs.Misses
+	s.CacheInvalidations = cs.Invalidations
+	s.CacheHitRate = cs.HitRate()
 	if a := e.sched.Adaptive; a != nil {
 		s.TrainedPartitions = a.Trained
 		s.ChipMoves = a.Moves
+		s.ParallelUnits = a.ParallelUnits
 		probs := a.Probabilities()
 		if len(probs) > 1 {
 			var h float64

@@ -1,6 +1,7 @@
 package streamgnn
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 )
@@ -296,6 +297,76 @@ func TestDriftDetectionDisabledByDefault(t *testing.T) {
 	e := endToEnd(t, cfg, 6)
 	if e.DriftDetected() {
 		t.Fatal("drift flag set without detection enabled")
+	}
+}
+
+// TestEngineDeterministicAcrossWorkers runs the same seeded stream with
+// serial and 4-worker pair evaluation and requires bit-identical predictions,
+// metrics and embeddings — the facade-level determinism guarantee.
+func TestEngineDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) *Engine {
+		cfg := DefaultConfig()
+		cfg.Strategy = StrategyWeighted
+		cfg.Hidden = 8
+		cfg.PairsPerStep = 3
+		cfg.Workers = workers
+		return endToEnd(t, cfg, 10)
+	}
+	e1, e4 := run(1), run(4)
+	o1, o4 := e1.Outcomes(), e4.Outcomes()
+	if len(o1) == 0 || len(o1) != len(o4) {
+		t.Fatalf("outcome counts %d vs %d", len(o1), len(o4))
+	}
+	for i := range o1 {
+		if o1[i] != o4[i] {
+			t.Fatalf("outcome %d diverged: %+v vs %+v", i, o1[i], o4[i])
+		}
+	}
+	m1, m4 := e1.Metrics(), e4.Metrics()
+	sameFloat := func(a, b float64) bool { return a == b || (math.IsNaN(a) && math.IsNaN(b)) }
+	if m1.N != m4.N || !sameFloat(m1.MSE, m4.MSE) || !sameFloat(m1.Accuracy, m4.Accuracy) ||
+		!sameFloat(m1.AUC, m4.AUC) || !sameFloat(m1.MRR, m4.MRR) {
+		t.Fatalf("metrics diverged: %+v vs %+v", m1, m4)
+	}
+	for v := 0; v < e1.NumNodes(); v++ {
+		b1, b4 := e1.Embedding(v), e4.Embedding(v)
+		for j := range b1 {
+			if b1[j] != b4[j] {
+				t.Fatalf("embedding of %d diverged at %d: %v vs %v", v, j, b1[j], b4[j])
+			}
+		}
+	}
+	s1, s4 := e1.Stats(), e4.Stats()
+	if s1.TrainedPartitions != s4.TrainedPartitions || s1.ChipEntropy != s4.ChipEntropy {
+		t.Fatalf("stats diverged: %+v vs %+v", s1, s4)
+	}
+	if s1.ParallelUnits != 0 || s4.ParallelUnits == 0 {
+		t.Fatalf("ParallelUnits: serial %d, parallel %d", s1.ParallelUnits, s4.ParallelUnits)
+	}
+}
+
+// TestEngineCacheStatsObservable checks the partition-cache counters surface
+// through Stats with a meaningful hit rate on a warm adaptive run.
+func TestEngineCacheStatsObservable(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Strategy = StrategyWeighted
+	cfg.Hidden = 8
+	e := endToEnd(t, cfg, 10)
+	s := e.Stats()
+	if s.CacheMisses == 0 {
+		t.Fatalf("no cache misses recorded: %+v", s)
+	}
+	if s.CacheHitRate < 0 || s.CacheHitRate > 1 {
+		t.Fatalf("hit rate %v out of [0,1]", s.CacheHitRate)
+	}
+	// Disabling the cache removes the counters entirely.
+	cfgOff := DefaultConfig()
+	cfgOff.Strategy = StrategyWeighted
+	cfgOff.Hidden = 8
+	cfgOff.PartitionCacheCap = -1
+	eo := endToEnd(t, cfgOff, 5)
+	if so := eo.Stats(); so.CacheMisses != 0 || so.CacheHits != 0 {
+		t.Fatalf("cache disabled but counters non-zero: %+v", so)
 	}
 }
 
