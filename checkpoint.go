@@ -4,19 +4,29 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"sync/atomic"
 
+	"streamgnn/internal/autodiff"
+	"streamgnn/internal/core"
 	"streamgnn/internal/dgnn"
+	"streamgnn/internal/drift"
+	"streamgnn/internal/query"
 )
 
-// checkpointVersion guards the on-disk format.
-const checkpointVersion = 1
+// checkpointVersion guards the on-disk format. Version 2 extended the
+// learned-state-only v1 with the full runtime state (random stream,
+// optimizer moments, workload, scheduler counters), making a graceful
+// shutdown + resume reproduce the uninterrupted run.
+const checkpointVersion = 2
 
 // checkpoint is the gob-encoded engine state: everything *learned* — model
 // and head parameters, recurrent state, the chip distribution — plus the
-// step counter. The graph snapshot itself is NOT included: reconstruct it by
+// runtime state needed to continue the exact trajectory: the engine's random
+// stream, optimizer moments, the workload's revealed/pending/replay state,
+// KDE seed window, drift-detector statistics, and the observability
+// counters. The graph snapshot itself is NOT included: reconstruct it by
 // replaying the stream (see internal/stream's JSONL encoding), then load the
-// checkpoint to resume with a trained model. Optimizer moments and pending
-// (not yet revealed) predictions are transient and start fresh on resume.
+// checkpoint to resume.
 type checkpoint struct {
 	Version  int
 	Model    string
@@ -26,17 +36,57 @@ type checkpoint struct {
 	Params   []dgnn.StateDump
 	States   []dgnn.StateDump
 	Chips    []int
+
+	// Runtime state (v2).
+	RngState      uint64
+	TrainerStats  [5]int64
+	TrainSteps    int
+	Trained       int
+	Moves         int
+	ParallelUnits int64
+	KDESeeds      []int
+	KDEOldest     int
+	HasKDESeeds   bool
+	Opt           *autodiff.OptState
+	Workload      query.WorkloadState
+	Drift         *drift.PageHinkleyState
+	SeenOutcomes  int
 }
 
-// SaveCheckpoint writes the engine's learned state to w.
+// CheckpointInfo is the identifying header of a saved checkpoint.
+type CheckpointInfo struct {
+	Version  int
+	Model    string
+	Strategy string
+	Hidden   int
+	// Step is the next step the resumed engine will execute.
+	Step int
+}
+
+// PeekCheckpoint decodes just the identifying header of a checkpoint, so a
+// service can learn how far to replay the stream (Info.Step) and which
+// model/strategy to configure before constructing the engine.
+func PeekCheckpoint(r io.Reader) (CheckpointInfo, error) {
+	var ck checkpoint
+	if err := gob.NewDecoder(r).Decode(&ck); err != nil {
+		return CheckpointInfo{}, fmt.Errorf("streamgnn: decoding checkpoint: %w", err)
+	}
+	return CheckpointInfo{Version: ck.Version, Model: ck.Model, Strategy: ck.Strategy,
+		Hidden: ck.Hidden, Step: ck.Step}, nil
+}
+
+// SaveCheckpoint writes the engine's learned and runtime state to w.
 func (e *Engine) SaveCheckpoint(w io.Writer) error {
 	ck := checkpoint{
-		Version:  checkpointVersion,
-		Model:    e.cfg.Model,
-		Strategy: e.cfg.Strategy,
-		Hidden:   e.cfg.Hidden,
-		Step:     e.step,
-		States:   e.model.DumpState(),
+		Version:      checkpointVersion,
+		Model:        e.cfg.Model,
+		Strategy:     e.cfg.Strategy,
+		Hidden:       e.cfg.Hidden,
+		Step:         e.step,
+		States:       e.model.DumpState(),
+		RngState:     e.src.State(),
+		Workload:     e.wl.DumpState(),
+		SeenOutcomes: e.seenOutcomes,
 	}
 	for _, p := range e.allParams() {
 		ck.Params = append(ck.Params, dgnn.StateDump{
@@ -44,15 +94,52 @@ func (e *Engine) SaveCheckpoint(w io.Writer) error {
 			Data: append([]float64(nil), p.Value.Data...),
 		})
 	}
-	if e.sched != nil && e.sched.Adaptive != nil {
-		ck.Chips = e.sched.Adaptive.Chips.Counts()
+	st := &e.trainer.Stats
+	ck.TrainerStats = [5]int64{
+		atomic.LoadInt64(&st.SelfNodeTargets),
+		atomic.LoadInt64(&st.SelfEdgeTargets),
+		atomic.LoadInt64(&st.SupNodeTargets),
+		atomic.LoadInt64(&st.SupPairTargets),
+		atomic.LoadInt64(&st.ReplayTargets),
+	}
+	if opt, ok := e.opt.(autodiff.Stateful); ok {
+		os := opt.DumpState()
+		ck.Opt = &os
+	}
+	if e.driftDet != nil {
+		ds := e.driftDet.State()
+		ck.Drift = &ds
+	}
+	switch {
+	case e.sched != nil:
+		ck.TrainSteps = e.sched.TrainSteps
+		if a := e.sched.Adaptive; a != nil {
+			ck.Chips = a.Chips.Counts()
+			ck.Trained, ck.Moves, ck.ParallelUnits = a.Trained, a.Moves, a.ParallelUnits
+			if ks, ok := a.Sampler().(*core.KDESampler); ok {
+				ck.KDESeeds, ck.KDEOldest = ks.SeedState()
+				ck.HasKDESeeds = true
+			}
+		}
+	case e.pending != nil:
+		// Saved after a restore but before the first Step: pass the stashed
+		// state through unchanged.
+		p := e.pending
+		ck.Chips = append([]int(nil), p.chips...)
+		ck.TrainSteps, ck.Trained, ck.Moves, ck.ParallelUnits = p.trainSteps, p.trained, p.moves, p.parallelUnits
+		ck.KDESeeds, ck.KDEOldest, ck.HasKDESeeds = append([]int(nil), p.kdeSeeds...), p.kdeOldest, p.hasKDE
 	}
 	return gob.NewEncoder(w).Encode(ck)
 }
 
-// LoadCheckpoint restores learned state saved by SaveCheckpoint into a
-// compatible engine (same model, strategy and hidden size). The graph
-// snapshot must be reconstructed separately before stepping resumes.
+// LoadCheckpoint restores state saved by SaveCheckpoint into a compatible
+// engine (same model, strategy and hidden size). The graph snapshot must be
+// reconstructed separately — by replaying the stream up to the checkpoint's
+// step — before stepping resumes, and queries (plus the link task, if it was
+// enabled) must be re-registered before the call. After a successful load,
+// continued stepping follows the exact trajectory of the uninterrupted run:
+// the random stream, optimizer moments, replay buffers and chip distribution
+// all pick up where they left off.
 func (e *Engine) LoadCheckpoint(r io.Reader) error {
 	var ck checkpoint
 	if err := gob.NewDecoder(r).Decode(&ck); err != nil {
@@ -76,6 +163,19 @@ func (e *Engine) LoadCheckpoint(r io.Reader) error {
 				i, d.Rows, d.Cols, p.Value.Rows, p.Value.Cols)
 		}
 	}
+	// All validations that can fail cleanly come before any mutation.
+	if ck.Opt != nil {
+		opt, ok := e.opt.(autodiff.Stateful)
+		if !ok {
+			return fmt.Errorf("streamgnn: checkpoint carries optimizer state but the %s optimizer cannot restore it", e.cfg.Model)
+		}
+		if err := opt.RestoreState(*ck.Opt); err != nil {
+			return err
+		}
+	}
+	if err := e.wl.RestoreState(ck.Workload); err != nil {
+		return err
+	}
 	for i, p := range params {
 		copy(p.Value.Data, ck.Params[i].Data)
 	}
@@ -83,12 +183,36 @@ func (e *Engine) LoadCheckpoint(r io.Reader) error {
 		return err
 	}
 	e.step = ck.Step
-	e.pendingChips = ck.Chips
-	if e.sched != nil && e.sched.Adaptive != nil && len(ck.Chips) > 0 {
-		if err := e.sched.Adaptive.Chips.Restore(ck.Chips); err != nil {
+	e.src.SetState(ck.RngState)
+	e.seenOutcomes = ck.SeenOutcomes
+	st := &e.trainer.Stats
+	atomic.StoreInt64(&st.SelfNodeTargets, ck.TrainerStats[0])
+	atomic.StoreInt64(&st.SelfEdgeTargets, ck.TrainerStats[1])
+	atomic.StoreInt64(&st.SupNodeTargets, ck.TrainerStats[2])
+	atomic.StoreInt64(&st.SupPairTargets, ck.TrainerStats[3])
+	atomic.StoreInt64(&st.ReplayTargets, ck.TrainerStats[4])
+	if e.driftDet != nil && ck.Drift != nil {
+		e.driftDet.RestoreState(*ck.Drift)
+	}
+	e.pending = &pendingRestore{
+		chips:         ck.Chips,
+		trainSteps:    ck.TrainSteps,
+		trained:       ck.Trained,
+		moves:         ck.Moves,
+		parallelUnits: ck.ParallelUnits,
+		kdeSeeds:      ck.KDESeeds,
+		kdeOldest:     ck.KDEOldest,
+		hasKDE:        ck.HasKDESeeds,
+	}
+	if e.sched != nil {
+		if err := e.applyPendingRestore(); err != nil {
 			return err
 		}
-		e.pendingChips = nil
 	}
+	// The caller rebuilt the graph by replaying the whole stream, which marks
+	// every node updated; the saved run had cleared the set at the end of its
+	// last step. Clear it so the first resumed step sees only the mutations
+	// applied after this load.
+	e.g.ResetUpdated()
 	return nil
 }

@@ -1,28 +1,44 @@
-// Command queryd is a long-running continuous-monitoring demo: it replays a
-// graph stream through the engine — one of the built-in workloads, or any
+// Command queryd is a long-running continuous-monitoring service: it replays
+// a graph stream through the engine — one of the built-in workloads, or any
 // external stream in the JSONL event encoding (see cmd/streamgen) — answers
 // its continuous predictive queries at every step, trains the chosen DGNN
 // online with the chosen strategy, and prints alerts, drift warnings and
 // rolling metrics — the operational loop of the paper's Figure 2.
 //
+// Beyond the replay loop it behaves like a real service: an optional admin
+// listener serves liveness, stats and Prometheus metrics; SIGINT/SIGTERM
+// trigger a graceful shutdown that writes a checkpoint, and -resume restores
+// it so the run continues exactly where it stopped.
+//
 //	queryd -dataset Bitcoin -model TGCN -strategy kde -steps 60
 //	queryd -input mystream.jsonl -model ROLAND       # external data
+//	queryd -listen :8080 -checkpoint queryd.ckpt     # service mode
+//	queryd -checkpoint queryd.ckpt -resume           # continue after restart
+//
+// Admin endpoints (with -listen):
+//
+//	GET /healthz  liveness probe ("ok")
+//	GET /stats    JSON snapshot: progress, Stats, Metrics, Telemetry
+//	GET /metrics  Prometheus text format (step/phase latency histograms,
+//	              training and cache counters, workload quality gauges)
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
-	"math/rand"
+	"net/http"
 	"os"
+	"os/signal"
+	"sync"
+	"syscall"
 	"time"
 
-	"streamgnn/internal/autodiff"
-	"streamgnn/internal/core"
-	"streamgnn/internal/dgnn"
-	"streamgnn/internal/drift"
-	"streamgnn/internal/graph"
-	"streamgnn/internal/metrics"
-	"streamgnn/internal/query"
+	"streamgnn"
+	"streamgnn/internal/obs"
 	"streamgnn/internal/stream"
 	"streamgnn/internal/workload"
 )
@@ -36,97 +52,173 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	hidden := flag.Int("hidden", 16, "embedding dimension")
 	detectDrift := flag.Bool("drift", true, "print drift warnings (Page-Hinkley over query loss)")
+	listen := flag.String("listen", "", "admin listen address (e.g. :8080); empty disables the HTTP endpoints")
+	ckptPath := flag.String("checkpoint", "", "checkpoint file written on graceful shutdown (and read by -resume)")
+	resume := flag.Bool("resume", false, "resume from -checkpoint: replay the stream up to the saved step, then continue")
+	rate := flag.Float64("rate", 0, "max replay steps per second; 0 replays at full speed")
 	flag.Parse()
 
-	if err := run(*dataset, *input, *model, *strategy, *steps, *seed, *hidden, *detectDrift); err != nil {
+	opts := options{
+		dataset: *dataset, input: *input, model: *model, strategy: *strategy,
+		steps: *steps, seed: *seed, hidden: *hidden, drift: *detectDrift,
+		listen: *listen, ckptPath: *ckptPath, resume: *resume, rate: *rate,
+	}
+	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "queryd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataset, input, model, strategy string, steps int, seed int64, hidden int, detectDrift bool) error {
-	var ds *workload.Dataset
-	var err error
-	if input != "" {
-		ds, err = loadExternal(input)
-		dataset = input
-	} else {
-		ds, err = workload.ByName(dataset, workload.GenConfig{Seed: seed, Steps: steps})
-	}
-	if err != nil {
-		return err
-	}
-	kind, err := dgnn.ParseKind(model)
-	if err != nil {
-		return err
-	}
-	strat, err := core.ParseStrategy(strategy)
-	if err != nil {
-		return err
-	}
-	rng := rand.New(rand.NewSource(seed))
-	g := graph.NewDynamic(ds.FeatDim)
-	rep := stream.NewReplayer(g, ds.Source(), ds.WindowSteps)
-	m := dgnn.New(kind, rng, ds.FeatDim, hidden)
-	heads := query.NewHeads(rng, hidden)
-	wl := query.NewWorkload(heads)
-	ds.Attach(wl, seed+1)
-	cfg := core.DefaultConfig()
-	if strat != core.Full {
-		cfg.RoundsPerStep = 30
-	}
-	opt := m.WrapOptimizer(autodiff.NewAdam(cfg.LR, append(m.Params(), heads.Params()...)))
-	trainer := core.NewTrainer(g, m, wl, opt, cfg, rng)
+type options struct {
+	dataset, input, model, strategy string
+	steps                           int
+	seed                            int64
+	hidden                          int
+	drift                           bool
+	listen                          string
+	ckptPath                        string
+	resume                          bool
+	rate                            float64
+}
 
-	fmt.Printf("monitoring %s with %s (%s strategy), %d steps\n\n", dataset, model, strat, steps)
-	var detector *drift.PageHinkley
-	if detectDrift {
-		detector = drift.NewPageHinkley(0.05, 3)
+func run(opts options) error {
+	// A resume run must build an engine compatible with the checkpoint, so
+	// the saved header overrides the model/strategy/hidden flags.
+	var ckptData []byte
+	resumeStep := 0
+	if opts.resume {
+		if opts.ckptPath == "" {
+			return errors.New("-resume requires -checkpoint")
+		}
+		var err error
+		ckptData, err = os.ReadFile(opts.ckptPath)
+		if err != nil {
+			return err
+		}
+		info, err := streamgnn.PeekCheckpoint(bytes.NewReader(ckptData))
+		if err != nil {
+			return err
+		}
+		opts.model, opts.strategy, opts.hidden = info.Model, info.Strategy, info.Hidden
+		resumeStep = info.Step
+		fmt.Printf("resuming %s/%s at step %d from %s\n", info.Model, info.Strategy, info.Step, opts.ckptPath)
 	}
-	seenOutcomes := 0
-	var sched *core.Scheduler
-	start := time.Now()
-	for rep.Advance() {
-		t := rep.Step()
-		if sched == nil {
-			if sched, err = core.NewScheduler(trainer, cfg, strat, rng); err != nil {
+
+	ds, err := loadDataset(opts)
+	if err != nil {
+		return err
+	}
+	eng, err := streamgnn.NewEngine(ds.FeatDim, streamgnn.Config{
+		Model:          opts.model,
+		Strategy:       opts.strategy,
+		Hidden:         opts.hidden,
+		Seed:           opts.seed,
+		WindowSteps:    ds.WindowSteps,
+		DriftDetection: opts.drift,
+	})
+	if err != nil {
+		return err
+	}
+	// Register the workload before any checkpoint load: restored pending
+	// predictions attach to queries by name, and the link task must exist
+	// for its state to land.
+	for _, q := range ds.Queries {
+		q := q
+		err := eng.AddQuery(streamgnn.Query{
+			Name:      q.Name,
+			Anchors:   q.Anchors,
+			Delta:     q.Delta,
+			Threshold: q.Threshold,
+			Labeler: func(anchor, step int) (float64, bool) {
+				return q.Labeler(eng.Graph(), anchor, step)
+			},
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if ds.LinkPred {
+		eng.EnableLinkPrediction()
+	}
+
+	// The engine owns sliding-window expiry (Config.WindowSteps), so the
+	// replayer only applies events.
+	rep := stream.NewReplayer(eng.Graph(), ds.Source(), 0)
+	if opts.resume {
+		// Rebuild the snapshot by replaying the stream up to the saved step
+		// (the checkpoint holds learned and runtime state, not the graph).
+		for i := 0; i < resumeStep; i++ {
+			if !rep.Advance() {
+				return fmt.Errorf("stream ends at step %d, checkpoint is from step %d", i, resumeStep)
+			}
+		}
+		if err := eng.LoadCheckpoint(bytes.NewReader(ckptData)); err != nil {
+			return err
+		}
+	}
+
+	srv := &server{eng: eng, dataset: ds.Name, started: time.Now()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var httpSrv *http.Server
+	httpErr := make(chan error, 1)
+	if opts.listen != "" {
+		httpSrv = &http.Server{Addr: opts.listen, Handler: srv.mux()}
+		go func() {
+			if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				httpErr <- err
+			}
+		}()
+		fmt.Printf("admin endpoints on %s (/healthz /stats /metrics)\n", opts.listen)
+	}
+
+	fmt.Printf("monitoring %s with %s (%s strategy), %d steps\n\n", ds.Name, opts.model, opts.strategy, ds.Steps)
+	interrupted, err := srv.replay(ctx, rep, opts.rate)
+	if err != nil {
+		return err
+	}
+	if !interrupted {
+		fmt.Printf("\nreplay finished in %v\n", time.Since(srv.started).Round(time.Millisecond))
+		srv.printStatus(rep.Step())
+		if opts.listen != "" {
+			fmt.Println("serving until SIGINT/SIGTERM")
+			select {
+			case <-ctx.Done():
+			case err := <-httpErr:
 				return err
 			}
 		}
-		updated := g.Updated()
-		m.BeginStep(t)
-		tp := autodiff.NewTape()
-		emb := m.Forward(tp, dgnn.FullView(g))
-		wl.Reveal(g, t)
-		wl.Predict(emb.Value, t)
-		sched.OnStep(t, updated)
-		g.ResetUpdated()
+	} else {
+		fmt.Printf("\nshutdown signal at step %d\n", rep.Step())
+	}
 
-		for _, a := range wl.TakeAlerts() {
-			fmt.Printf("[step %3d] ALERT %-38q anchor %4d score %7.2f (for step %d)\n",
-				t, a.Query, a.Anchor, a.Score, a.ForStep)
+	if opts.ckptPath != "" {
+		if err := srv.writeCheckpoint(opts.ckptPath); err != nil {
+			return err
 		}
-		if detector != nil {
-			outs := wl.Outcomes()
-			if len(outs) > seenOutcomes {
-				var sum float64
-				for _, o := range outs[seenOutcomes:] {
-					d := o.Score - o.Truth
-					sum += d * d
-				}
-				if detector.Add(sum / float64(len(outs)-seenOutcomes)) {
-					fmt.Printf("[step %3d] DRIFT detected — query losses shifted; the online trainer is re-fitting\n", t)
-				}
-				seenOutcomes = len(outs)
-			}
-		}
-		if t > 0 && t%10 == 0 {
-			printStatus(t, g, wl)
+		fmt.Printf("checkpoint written to %s\n", opts.ckptPath)
+	}
+	if httpSrv != nil {
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			return err
 		}
 	}
-	fmt.Printf("\nreplay finished in %v\n", time.Since(start).Round(time.Millisecond))
-	printStatus(rep.Step(), g, wl)
+	select {
+	case err := <-httpErr:
+		return err
+	default:
+	}
 	return nil
+}
+
+func loadDataset(opts options) (*workload.Dataset, error) {
+	if opts.input != "" {
+		return loadExternal(opts.input)
+	}
+	return workload.ByName(opts.dataset, workload.GenConfig{Seed: opts.seed, Steps: opts.steps})
 }
 
 // loadExternal wraps a JSONL event file as a dataset with continuous link
@@ -157,25 +249,232 @@ func loadExternal(path string) (*workload.Dataset, error) {
 	}, nil
 }
 
-func printStatus(step int, g *graph.Dynamic, wl *query.Workload) {
-	outs := wl.Outcomes()
-	var scores, truths []float64
-	var events []bool
-	for _, o := range outs {
-		scores = append(scores, o.Score)
-		truths = append(truths, o.Truth)
-		events = append(events, o.Event)
+// server owns the engine. The replay loop and the HTTP handlers synchronize
+// on mu; handlers only hold it long enough to take snapshots.
+type server struct {
+	mu      sync.Mutex
+	eng     *streamgnn.Engine
+	dataset string
+	started time.Time
+	done    bool // replay finished
+}
+
+// replay drives the engine until the stream ends or ctx is canceled. It
+// reports whether it stopped because of a shutdown signal.
+func (s *server) replay(ctx context.Context, rep *stream.Replayer, rate float64) (interrupted bool, err error) {
+	var pace *time.Ticker
+	if rate > 0 {
+		pace = time.NewTicker(time.Duration(float64(time.Second) / rate))
+		defer pace.Stop()
 	}
-	line := fmt.Sprintf("[step %3d] %d nodes, %d edges", step, g.N(), g.NumEdges())
-	if len(outs) > 0 {
-		line += fmt.Sprintf(", %d resolved, MSE %.3f, AUC %.3f",
-			len(outs), metrics.MSE(scores, truths), metrics.AUC(scores, events))
-	}
-	if lt := wl.LinkTask(); lt != nil {
-		if ls, ll := lt.Scores(); len(ls) > 0 {
-			line += fmt.Sprintf(", link acc %.3f, MRR %.3f",
-				metrics.Accuracy(ls, ll, 0), metrics.MRR(lt.Ranks()))
+	for {
+		select {
+		case <-ctx.Done():
+			return true, nil
+		default:
+		}
+		if pace != nil {
+			select {
+			case <-ctx.Done():
+				return true, nil
+			case <-pace.C:
+			}
+		}
+		if !rep.Advance() {
+			break
+		}
+		t := rep.Step()
+		s.mu.Lock()
+		if err := s.eng.Step(); err != nil {
+			s.mu.Unlock()
+			return false, err
+		}
+		alerts := s.eng.TakeAlerts()
+		drifted := s.eng.DriftDetected()
+		s.mu.Unlock()
+
+		for _, a := range alerts {
+			fmt.Printf("[step %3d] ALERT %-38q anchor %4d score %7.2f (for step %d)\n",
+				t, a.Query, a.Anchor, a.Score, a.ForStep)
+		}
+		if drifted {
+			fmt.Printf("[step %3d] DRIFT detected — query losses shifted; the online trainer is re-fitting\n", t)
+		}
+		if t > 0 && t%10 == 0 {
+			s.printStatus(t)
 		}
 	}
+	s.mu.Lock()
+	s.done = true
+	s.mu.Unlock()
+	return false, nil
+}
+
+func (s *server) writeCheckpoint(path string) error {
+	var buf bytes.Buffer
+	s.mu.Lock()
+	err := s.eng.SaveCheckpoint(&buf)
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+func (s *server) printStatus(step int) {
+	s.mu.Lock()
+	m := s.eng.Metrics()
+	nodes, edges := s.eng.NumNodes(), s.eng.NumEdges()
+	s.mu.Unlock()
+	line := fmt.Sprintf("[step %3d] %d nodes, %d edges", step, nodes, edges)
+	if m.EventN > 0 {
+		line += fmt.Sprintf(", %d resolved, MSE %.3f, event AUC %.3f", m.EventN, m.MSE, m.EventAUC)
+	}
+	if m.LinkN > 0 {
+		line += fmt.Sprintf(", link AUC %.3f, acc %.3f, MRR %.3f", m.LinkAUC, m.Accuracy, m.MRR)
+	}
 	fmt.Println(line)
+}
+
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// statsResponse is the /stats JSON document.
+type statsResponse struct {
+	Dataset       string              `json:"dataset"`
+	Step          int                 `json:"step"`
+	Nodes         int                 `json:"nodes"`
+	Edges         int                 `json:"edges"`
+	ReplayDone    bool                `json:"replay_done"`
+	UptimeSeconds float64             `json:"uptime_seconds"`
+	Stats         streamgnn.Stats     `json:"stats"`
+	Metrics       metricsJSON         `json:"metrics"`
+	Telemetry     streamgnn.Telemetry `json:"telemetry"`
+}
+
+// metricsJSON mirrors streamgnn.Metrics with NaN-free AUC fields (JSON has
+// no NaN; an undefined AUC is reported as null).
+type metricsJSON struct {
+	N        int      `json:"n"`
+	EventN   int      `json:"event_n"`
+	EventAUC *float64 `json:"event_auc"`
+	MSE      float64  `json:"mse"`
+	LinkN    int      `json:"link_n"`
+	LinkAUC  *float64 `json:"link_auc"`
+	Accuracy float64  `json:"accuracy"`
+	MRR      float64  `json:"mrr"`
+}
+
+func finiteOrNil(v float64) *float64 {
+	if v != v { // NaN
+		return nil
+	}
+	return &v
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	resp := statsResponse{
+		Dataset:       s.dataset,
+		Step:          s.eng.CurrentStep(),
+		Nodes:         s.eng.NumNodes(),
+		Edges:         s.eng.NumEdges(),
+		ReplayDone:    s.done,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Stats:         s.eng.Stats(),
+		Telemetry:     s.eng.Telemetry(),
+	}
+	m := s.eng.Metrics()
+	s.mu.Unlock()
+	resp.Metrics = metricsJSON{
+		N: m.N, EventN: m.EventN, EventAUC: finiteOrNil(m.EventAUC), MSE: m.MSE,
+		LinkN: m.LinkN, LinkAUC: finiteOrNil(m.LinkAUC), Accuracy: m.Accuracy, MRR: m.MRR,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(resp)
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	tel := s.eng.Telemetry()
+	st := s.eng.Stats()
+	m := s.eng.Metrics()
+	step := s.eng.CurrentStep()
+	nodes, edges := s.eng.NumNodes(), s.eng.NumEdges()
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b bytes.Buffer
+
+	obs.WriteHeader(&b, "streamgnn_steps_total", "Completed engine steps.", "counter")
+	obs.WriteIntValue(&b, "streamgnn_steps_total", "", tel.Steps)
+	obs.WriteHeader(&b, "streamgnn_step_seconds", "Whole-step latency.", "histogram")
+	obs.WriteHistogram(&b, "streamgnn_step_seconds", "", snap(tel.Step))
+	obs.WriteHeader(&b, "streamgnn_step_phase_seconds", "Per-phase step latency.", "histogram")
+	for _, phase := range streamgnn.StepPhases() {
+		obs.WriteHistogram(&b, "streamgnn_step_phase_seconds", fmt.Sprintf("phase=%q", phase), snap(tel.Phases[phase]))
+	}
+
+	obs.WriteHeader(&b, "streamgnn_train_targets_total", "Training targets consumed, by kind.", "counter")
+	for _, kv := range []struct {
+		kind string
+		v    int
+	}{
+		{"self_node", st.SelfNodeTargets}, {"self_edge", st.SelfEdgeTargets},
+		{"sup_node", st.SupNodeTargets}, {"sup_pair", st.SupPairTargets},
+		{"replay", st.ReplayTargets},
+	} {
+		obs.WriteIntValue(&b, "streamgnn_train_targets_total", fmt.Sprintf("kind=%q", kv.kind), int64(kv.v))
+	}
+	obs.WriteHeader(&b, "streamgnn_trained_partitions_total", "Node partitions trained.", "counter")
+	obs.WriteIntValue(&b, "streamgnn_trained_partitions_total", "", int64(st.TrainedPartitions))
+	obs.WriteHeader(&b, "streamgnn_chip_moves_total", "Accepted chip moves (Algorithm 1).", "counter")
+	obs.WriteIntValue(&b, "streamgnn_chip_moves_total", "", int64(st.ChipMoves))
+	obs.WriteHeader(&b, "streamgnn_chip_entropy", "Normalized entropy of the chip distribution.", "gauge")
+	obs.WriteValue(&b, "streamgnn_chip_entropy", "", st.ChipEntropy)
+	obs.WriteHeader(&b, "streamgnn_partition_cache_events_total", "Partition cache activity, by event.", "counter")
+	obs.WriteIntValue(&b, "streamgnn_partition_cache_events_total", `event="hit"`, st.CacheHits)
+	obs.WriteIntValue(&b, "streamgnn_partition_cache_events_total", `event="miss"`, st.CacheMisses)
+	obs.WriteIntValue(&b, "streamgnn_partition_cache_events_total", `event="invalidation"`, st.CacheInvalidations)
+	obs.WriteHeader(&b, "streamgnn_parallel_units_total", "Training units evaluated on worker goroutines.", "counter")
+	obs.WriteIntValue(&b, "streamgnn_parallel_units_total", "", st.ParallelUnits)
+
+	obs.WriteHeader(&b, "streamgnn_stream_step", "Next stream step to execute.", "gauge")
+	obs.WriteIntValue(&b, "streamgnn_stream_step", "", int64(step))
+	obs.WriteHeader(&b, "streamgnn_graph_nodes", "Nodes in the snapshot.", "gauge")
+	obs.WriteIntValue(&b, "streamgnn_graph_nodes", "", int64(nodes))
+	obs.WriteHeader(&b, "streamgnn_graph_edges", "Directed edges in the snapshot.", "gauge")
+	obs.WriteIntValue(&b, "streamgnn_graph_edges", "", int64(edges))
+
+	obs.WriteHeader(&b, "streamgnn_resolved_predictions", "Resolved predictions, by task.", "gauge")
+	obs.WriteIntValue(&b, "streamgnn_resolved_predictions", `task="event"`, int64(m.EventN))
+	obs.WriteIntValue(&b, "streamgnn_resolved_predictions", `task="link"`, int64(m.LinkN))
+	if m.EventN > 0 && m.EventAUC == m.EventAUC {
+		obs.WriteHeader(&b, "streamgnn_event_auc", "AUC over resolved event-query predictions.", "gauge")
+		obs.WriteValue(&b, "streamgnn_event_auc", "", m.EventAUC)
+	}
+	if m.LinkN > 0 && m.LinkAUC == m.LinkAUC {
+		obs.WriteHeader(&b, "streamgnn_link_auc", "AUC over link-prediction scores.", "gauge")
+		obs.WriteValue(&b, "streamgnn_link_auc", "", m.LinkAUC)
+	}
+
+	w.Write(b.Bytes())
+}
+
+// snap converts a public telemetry histogram back into an obs snapshot for
+// the Prometheus writers.
+func snap(h streamgnn.TelemetryHistogram) obs.Snapshot {
+	return obs.Snapshot{Count: h.Count, Sum: h.Sum, Bounds: h.Bounds, Counts: h.Counts}
 }

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +21,7 @@ func main() {
 	table := flag.Int("table", 1, "which table to reproduce (1, 2 or 3), or 0 with -scaling")
 	scaling := flag.Bool("scaling", false, "run the scaling study instead of a table")
 	hotpath := flag.Bool("hotpath", false, "benchmark the adaptive hot path (cache + workers) instead of a table")
+	jsonOut := flag.String("json", "", "with -hotpath: also write the report as JSON to this file (e.g. BENCH_hotpath.json)")
 	runs := flag.Int("runs", 10, "repetitions per cell (the paper uses 10)")
 	steps := flag.Int("steps", 40, "stream steps per run")
 	scale := flag.Float64("scale", 1, "workload scale factor")
@@ -34,6 +36,17 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Print(rep.String())
+		if *jsonOut != "" {
+			data, jerr := json.MarshalIndent(rep, "", "  ")
+			if jerr == nil {
+				jerr = os.WriteFile(*jsonOut, append(data, '\n'), 0o644)
+			}
+			if jerr != nil {
+				fmt.Fprintln(os.Stderr, "streambench:", jerr)
+				os.Exit(1)
+			}
+			fmt.Printf("\nJSON report written to %s\n", *jsonOut)
+		}
 		return
 	}
 	if *scaling {

@@ -1,6 +1,7 @@
 package autodiff
 
 import (
+	"fmt"
 	"math"
 
 	"streamgnn/internal/tensor"
@@ -100,6 +101,73 @@ func (o *Adam) Step() {
 		}
 	}
 	o.ZeroGrad()
+}
+
+// OptState is a checkpointable snapshot of an optimizer's internal state:
+// the step counter and any per-parameter moment buffers (flattened, in
+// parameter order). SGD has no moments; Adam has two per parameter.
+type OptState struct {
+	Step    int
+	Moments [][]float64
+}
+
+// Stateful is implemented by optimizers whose internal state can be dumped
+// and restored across a checkpoint/resume cycle. Restoring the moments makes
+// post-resume parameter updates bit-identical to an uninterrupted run, which
+// checkpoint resume tests rely on. Wrapped optimizers that keep extra state
+// of their own (e.g. WinGNN's gradient-aggregation window) may choose not to
+// implement it, in which case resume is approximate.
+type Stateful interface {
+	// DumpState captures the optimizer's internal state.
+	DumpState() OptState
+	// RestoreState restores a state captured by DumpState on an optimizer
+	// over the same parameter set.
+	RestoreState(OptState) error
+}
+
+// DumpState implements Stateful (SGD keeps no moments).
+func (o *SGD) DumpState() OptState { return OptState{} }
+
+// RestoreState implements Stateful.
+func (o *SGD) RestoreState(OptState) error { return nil }
+
+// DumpState implements Stateful.
+func (o *Adam) DumpState() OptState {
+	st := OptState{Step: o.step, Moments: make([][]float64, 0, 2*len(o.params))}
+	for _, m := range o.m {
+		st.Moments = append(st.Moments, append([]float64(nil), m.Data...))
+	}
+	for _, v := range o.v {
+		st.Moments = append(st.Moments, append([]float64(nil), v.Data...))
+	}
+	return st
+}
+
+// RestoreState implements Stateful.
+func (o *Adam) RestoreState(st OptState) error {
+	if len(st.Moments) != 2*len(o.params) {
+		return fmt.Errorf("autodiff: optimizer state has %d moment buffers, Adam over %d params needs %d",
+			len(st.Moments), len(o.params), 2*len(o.params))
+	}
+	for i, m := range o.m {
+		if len(st.Moments[i]) != len(m.Data) {
+			return fmt.Errorf("autodiff: moment buffer %d has %d values, want %d", i, len(st.Moments[i]), len(m.Data))
+		}
+	}
+	for i, v := range o.v {
+		j := len(o.m) + i
+		if len(st.Moments[j]) != len(v.Data) {
+			return fmt.Errorf("autodiff: moment buffer %d has %d values, want %d", j, len(st.Moments[j]), len(v.Data))
+		}
+	}
+	o.step = st.Step
+	for i, m := range o.m {
+		copy(m.Data, st.Moments[i])
+	}
+	for i, v := range o.v {
+		copy(v.Data, st.Moments[len(o.m)+i])
+	}
+	return nil
 }
 
 func zeroGrads(params []*Node) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 
 	"streamgnn/internal/graph"
@@ -57,6 +58,31 @@ func (s *KDESampler) Seeds() []int {
 	out := make([]int, len(s.seeds))
 	copy(out, s.seeds)
 	return out
+}
+
+// SeedState returns the seed window and its FIFO cursor for checkpointing.
+func (s *KDESampler) SeedState() (seeds []int, oldest int) {
+	return s.Seeds(), s.oldest
+}
+
+// RestoreSeedState restores a window captured with SeedState. The restored
+// window replaces the freshly initialized one so a resumed run continues the
+// exact sampling trajectory of the saved run.
+func (s *KDESampler) RestoreSeedState(seeds []int, oldest int) error {
+	if len(seeds) == 0 {
+		return fmt.Errorf("core: empty KDE seed window")
+	}
+	if oldest < 0 || oldest >= len(seeds) {
+		return fmt.Errorf("core: KDE seed cursor %d out of range [0,%d)", oldest, len(seeds))
+	}
+	for _, v := range seeds {
+		if v < 0 || v >= s.g.N() {
+			return fmt.Errorf("core: KDE seed %d outside graph of %d nodes", v, s.g.N())
+		}
+	}
+	s.seeds = append(s.seeds[:0], seeds...)
+	s.oldest = oldest
+	return nil
 }
 
 // SampleNode implements NodeSampler: one iteration of Algorithm 2's loop

@@ -9,6 +9,7 @@ import (
 	"streamgnn/internal/dgnn"
 	"streamgnn/internal/graph"
 	"streamgnn/internal/query"
+	"streamgnn/internal/rng"
 	"streamgnn/internal/tensor"
 )
 
@@ -98,33 +99,14 @@ type Unit struct {
 	loss *autodiff.Node
 }
 
-// unitSource is a splitmix64-backed rand.Source64 with O(1) seeding. The
-// hot path seeds a fresh private rng per training unit; the standard
-// lagged-Fibonacci source pays a ~600-word initialization for that, which
-// profiles as several percent of a training step. Determinism only needs
-// seed -> stream to be a fixed function, which splitmix64 provides.
-type unitSource struct{ state uint64 }
-
-func (s *unitSource) Seed(seed int64) { s.state = uint64(seed) }
-
-func (s *unitSource) Uint64() uint64 {
-	s.state += 0x9e3779b97f4a7c15
-	z := s.state
-	z ^= z >> 30
-	z *= 0xbf58476d1ce4e5b9
-	z ^= z >> 27
-	z *= 0x94d049bb133111eb
-	z ^= z >> 31
-	return z
-}
-
-func (s *unitSource) Int63() int64 { return int64(s.Uint64() >> 1) }
-
-// EvalUnit builds node v's training unit using a private rng seeded with
-// seed, so evaluation order (and worker count) cannot perturb the sampled
-// replay batches and negatives. Safe to call from worker goroutines.
+// EvalUnit builds node v's training unit using a private splitmix64 rng
+// seeded with seed (O(1) seeding — the standard lagged-Fibonacci source pays
+// a ~600-word initialization per seed, which profiles as several percent of
+// a training step), so evaluation order (and worker count) cannot perturb
+// the sampled replay batches and negatives. Safe to call from worker
+// goroutines.
 func (t *Trainer) EvalUnit(v int, seed int64) Unit {
-	return t.evalUnit(v, rand.New(&unitSource{state: uint64(seed)}))
+	return t.evalUnit(v, rand.New(rng.New(seed)))
 }
 
 func (t *Trainer) evalUnit(v int, rng *rand.Rand) Unit {

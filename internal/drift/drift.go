@@ -66,6 +66,25 @@ func (p *PageHinkley) Reset() {
 	p.n, p.mean, p.cum, p.min = 0, 0, 0, 0
 }
 
+// PageHinkleyState is a checkpointable snapshot of the detector's running
+// statistics.
+type PageHinkleyState struct {
+	N    int
+	Mean float64
+	Cum  float64
+	Min  float64
+}
+
+// State captures the detector's running statistics for checkpointing.
+func (p *PageHinkley) State() PageHinkleyState {
+	return PageHinkleyState{N: p.n, Mean: p.mean, Cum: p.cum, Min: p.min}
+}
+
+// RestoreState restores statistics captured with State.
+func (p *PageHinkley) RestoreState(s PageHinkleyState) {
+	p.n, p.mean, p.cum, p.min = s.N, s.Mean, s.Cum, s.Min
+}
+
 // WindowShift detects drift by comparing the means of two adjacent sliding
 // windows (reference vs. recent): a shift larger than Factor× the reference
 // window's standard deviation signals drift. Simpler and more interpretable

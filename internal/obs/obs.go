@@ -1,0 +1,178 @@
+// Package obs provides the engine's observability primitives: lock-cheap
+// atomic counters and fixed-bucket log-spaced latency histograms, plus
+// encoders for the Prometheus text exposition format. It has no dependencies
+// beyond the standard library and is safe for concurrent use: every mutation
+// is a single atomic operation, so instrumenting the training hot path costs
+// a few nanoseconds per observation.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// DefaultLatencyBuckets returns the histogram bounds used for step-phase
+// latencies: 28 log-spaced (doubling) upper bounds from 1µs to ~134s. The
+// range covers everything from a no-op expiry phase to a multi-second
+// full-graph training pass; observations above the last bound land in the
+// implicit +Inf bucket.
+func DefaultLatencyBuckets() []float64 {
+	bounds := make([]float64, 28)
+	b := 1e-6
+	for i := range bounds {
+		bounds[i] = b
+		b *= 2
+	}
+	return bounds
+}
+
+// Histogram is a fixed-bucket latency histogram. Observations are recorded
+// with atomic adds only (one bucket increment, one count increment, one CAS
+// loop for the float sum), so it is safe and cheap to call from concurrent
+// goroutines. Bucket bounds are upper bounds in seconds; an implicit +Inf
+// bucket catches the overflow.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits of the sum of observations
+}
+
+// NewHistogram returns a histogram over the given ascending upper bounds
+// (seconds). Pass DefaultLatencyBuckets() for step-phase latencies.
+func NewHistogram(bounds []float64) *Histogram {
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	return h
+}
+
+// Observe records one observation (seconds).
+func (h *Histogram) Observe(v float64) {
+	// Binary search the first bound >= v.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) { h.Observe(time.Since(t0).Seconds()) }
+
+// Snapshot is a point-in-time copy of a histogram's state. Counts are
+// per-bucket (not cumulative); Counts[len(Bounds)] is the +Inf bucket.
+type Snapshot struct {
+	Count  int64
+	Sum    float64 // seconds
+	Bounds []float64
+	Counts []int64
+}
+
+// Snapshot returns a copy of the histogram's current state.
+func (h *Histogram) Snapshot() Snapshot {
+	s := Snapshot{
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sum.Load()),
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Mean returns the mean observation in seconds (0 before any observation).
+func (s Snapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// ---- Prometheus text exposition format ----
+
+// WriteHeader emits the # HELP and # TYPE lines for a metric.
+func WriteHeader(w io.Writer, name, help, typ string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// WriteValue emits one sample line. labels is either empty or a
+// comma-separated label list without braces (e.g. `phase="train"`).
+func WriteValue(w io.Writer, name, labels string, value float64) {
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	fmt.Fprintf(w, "%s%s %s\n", name, labels, formatFloat(value))
+}
+
+// WriteIntValue emits one sample line with an integer value.
+func WriteIntValue(w io.Writer, name, labels string, value int64) {
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	fmt.Fprintf(w, "%s%s %d\n", name, labels, value)
+}
+
+// WriteHistogram emits the _bucket/_sum/_count series of a histogram
+// snapshot in Prometheus cumulative form. labels (may be empty) is merged
+// with the per-bucket le label.
+func WriteHistogram(w io.Writer, name, labels string, s Snapshot) {
+	var cum int64
+	for i, b := range s.Bounds {
+		cum += s.Counts[i]
+		WriteIntValue(w, name+"_bucket", joinLabels(labels, fmt.Sprintf(`le="%s"`, formatFloat(b))), cum)
+	}
+	if len(s.Counts) > len(s.Bounds) {
+		cum += s.Counts[len(s.Bounds)]
+	}
+	WriteIntValue(w, name+"_bucket", joinLabels(labels, `le="+Inf"`), cum)
+	WriteValue(w, name+"_sum", labels, s.Sum)
+	WriteIntValue(w, name+"_count", labels, s.Count)
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -6,6 +6,7 @@ import (
 	"streamgnn/internal/autodiff"
 	"streamgnn/internal/graph"
 	"streamgnn/internal/metrics"
+	"streamgnn/internal/rng"
 	"streamgnn/internal/tensor"
 )
 
@@ -29,6 +30,7 @@ type LinkPredTask struct {
 	// MaxPositives caps the positives evaluated per step.
 	MaxPositives int
 
+	src      *rng.SplitMix64 // dumpable source behind rng (checkpointing)
 	rng      *rand.Rand
 	lastEmb  *tensor.Matrix
 	lastStep int
@@ -48,11 +50,13 @@ type LinkPredTask struct {
 
 // NewLinkPredTask returns a link-prediction task with standard settings.
 func NewLinkPredTask(seed int64) *LinkPredTask {
+	src := rng.New(seed)
 	return &LinkPredTask{
 		NegPerPos:    5,
 		RankNegs:     20,
 		MaxPositives: 64,
-		rng:          rand.New(rand.NewSource(seed)),
+		src:          src,
+		rng:          rand.New(src),
 		lastStep:     -1,
 	}
 }

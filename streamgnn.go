@@ -36,6 +36,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sort"
+	"time"
 
 	"streamgnn/internal/autodiff"
 	"streamgnn/internal/core"
@@ -44,6 +45,7 @@ import (
 	"streamgnn/internal/graph"
 	"streamgnn/internal/metrics"
 	"streamgnn/internal/query"
+	"streamgnn/internal/rng"
 	"streamgnn/internal/tensor"
 )
 
@@ -81,17 +83,27 @@ type Config struct {
 	Chips int
 	// PairsPerStep is the node pairs trained per step (default 1).
 	PairsPerStep int
-	// UpdateBias is p_u, the probability of sampling from the update set
-	// (default 0.5).
-	UpdateBias float64
+	// UpdateBias is p_u, the probability of sampling from the update set.
+	// nil uses the paper default (0.5); any non-nil value — including an
+	// explicit 0, which disables the update-set bias for ablation sweeps —
+	// is honored as set. Use the Float helper to set it:
+	//
+	//	cfg.UpdateBias = streamgnn.Float(0) // p_u = 0
+	UpdateBias *float64
 	// Interval is the number of steps between training steps (default 1).
 	Interval int
 	// Seeds is w, the KDE seed-window size (default 15).
 	Seeds int
-	// StopProb is q, the random-walk stop probability (default 0.5).
-	StopProb float64
-	// SeedKeep is p, the sample-becomes-seed probability (default 0.8).
-	SeedKeep float64
+	// StopProb is q, the random-walk stop probability. nil uses the paper
+	// default (0.5); a non-nil value is honored as set (it must lie in
+	// (0, 1] — a zero stop probability would never terminate the walk).
+	// Use Float to set it.
+	StopProb *float64
+	// SeedKeep is p, the sample-becomes-seed probability. nil uses the
+	// paper default (0.8); any non-nil value in [0, 1] — including an
+	// explicit 0, i.e. always teleport — is honored as set. Use Float to
+	// set it.
+	SeedKeep *float64
 	// LearningRate is the optimizer step size (default 0.02).
 	LearningRate float64
 	// DriftDetection enables an online Page-Hinkley detector over the
@@ -119,6 +131,10 @@ func DefaultConfig() Config {
 	return Config{Model: "TGCN", Strategy: StrategyKDE, Hidden: 16, Seed: 1}
 }
 
+// Float returns a pointer to v, for the Config fields with explicit-set
+// semantics (UpdateBias, StopProb, SeedKeep).
+func Float(v float64) *float64 { return &v }
+
 func (c Config) fill() (Config, core.Config) {
 	if c.Model == "" {
 		c.Model = "TGCN"
@@ -139,8 +155,8 @@ func (c Config) fill() (Config, core.Config) {
 	if c.PairsPerStep > 0 {
 		cc.PairsPerStep = c.PairsPerStep
 	}
-	if c.UpdateBias > 0 {
-		cc.PUpdate = c.UpdateBias
+	if c.UpdateBias != nil {
+		cc.PUpdate = *c.UpdateBias
 	}
 	if c.Interval > 0 {
 		cc.Interval = c.Interval
@@ -148,11 +164,11 @@ func (c Config) fill() (Config, core.Config) {
 	if c.Seeds > 0 {
 		cc.Seeds = c.Seeds
 	}
-	if c.StopProb > 0 {
-		cc.StopProb = c.StopProb
+	if c.StopProb != nil {
+		cc.StopProb = *c.StopProb
 	}
-	if c.SeedKeep > 0 {
-		cc.SeedKeep = c.SeedKeep
+	if c.SeedKeep != nil {
+		cc.SeedKeep = *c.SeedKeep
 	}
 	if c.LearningRate > 0 {
 		cc.LR = c.LearningRate
@@ -203,13 +219,33 @@ type Outcome struct {
 	Event  bool
 }
 
-// Metrics summarizes resolved predictions.
+// Metrics summarizes resolved predictions. Event-query and link-prediction
+// results are reported in distinct fields (EventAUC/EventN vs LinkAUC/LinkN)
+// so a mixed workload never shadows one task's quality with the other's;
+// the original N and AUC fields are kept as documented aggregates.
 type Metrics struct {
-	N        int
-	MSE      float64
+	// N is the total number of resolved predictions across both task
+	// kinds (EventN + LinkN) — a legacy aggregate; prefer the per-task
+	// counts for mixed workloads.
+	N int
+	// MSE is the mean squared error over resolved event-query predictions.
+	MSE float64
+	// Accuracy is the link-prediction accuracy at logit threshold 0
+	// (0 when link prediction is off).
 	Accuracy float64
-	AUC      float64
-	MRR      float64
+	// AUC is a legacy aggregate kept for single-task callers: it equals
+	// LinkAUC when link prediction is active, otherwise EventAUC. Mixed
+	// workloads should read EventAUC and LinkAUC directly.
+	AUC float64
+	// MRR is the link-prediction mean reciprocal rank.
+	MRR float64
+
+	// EventN and EventAUC cover resolved event-query outcomes only.
+	EventN   int
+	EventAUC float64
+	// LinkN and LinkAUC cover link-prediction scores only.
+	LinkN   int
+	LinkAUC float64
 }
 
 // Stats exposes the online trainer's internals for observability: how much
@@ -247,21 +283,41 @@ type Stats struct {
 
 // Engine is the online continuous-learning query engine.
 type Engine struct {
-	cfg   Config
-	ccfg  core.Config
-	g     *graph.Dynamic
-	model dgnn.Model
-	wl    *query.Workload
-	sched *core.Scheduler
+	cfg     Config
+	ccfg    core.Config
+	g       *graph.Dynamic
+	model   dgnn.Model
+	wl      *query.Workload
+	sched   *core.Scheduler
+	trainer *core.Trainer
+	opt     autodiff.Optimizer
+	src     *rng.SplitMix64 // dumpable source behind every engine rng draw
 
-	step         int
-	lastEmb      *tensor.Matrix
-	mkScheduler  func() (*core.Scheduler, error)
-	pendingChips []int
+	step        int
+	lastEmb     *tensor.Matrix
+	mkScheduler func() (*core.Scheduler, error)
+	// pending is checkpoint state that can only be applied once the
+	// scheduler exists (it is created lazily at the first Step).
+	pending *pendingRestore
 
 	driftDet     *drift.PageHinkley
 	driftFlag    bool
 	seenOutcomes int
+
+	tele engineTelemetry
+}
+
+// pendingRestore carries the scheduler-scoped checkpoint state (chips and
+// observability counters) between LoadCheckpoint and the first Step.
+type pendingRestore struct {
+	chips         []int
+	trainSteps    int
+	trained       int
+	moves         int
+	parallelUnits int64
+	kdeSeeds      []int
+	kdeOldest     int
+	hasKDE        bool
 }
 
 // allParams returns the trainable parameters (model first, then heads),
@@ -282,25 +338,31 @@ func NewEngine(featDim int, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := ccfg.Validate(); err != nil {
+		return nil, err
+	}
 	// Buffer pooling is process-wide; the engine turns it on unless asked
 	// not to (metered allocation accounting is identical either way).
 	tensor.EnablePooling(!cfg.DisablePooling)
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	src := rng.New(cfg.Seed)
+	r := rand.New(src)
 	g := graph.NewDynamic(featDim)
-	model := dgnn.New(kind, rng, featDim, cfg.Hidden)
-	heads := query.NewHeads(rng, cfg.Hidden)
+	model := dgnn.New(kind, r, featDim, cfg.Hidden)
+	heads := query.NewHeads(r, cfg.Hidden)
 	wl := query.NewWorkload(heads)
 	params := append(model.Params(), heads.Params()...)
 	opt := model.WrapOptimizer(autodiff.NewAdam(ccfg.LR, params))
-	trainer := core.NewTrainer(g, model, wl, opt, ccfg, rng)
-	e := &Engine{cfg: cfg, ccfg: ccfg, g: g, model: model, wl: wl}
+	trainer := core.NewTrainer(g, model, wl, opt, ccfg, r)
+	e := &Engine{cfg: cfg, ccfg: ccfg, g: g, model: model, wl: wl,
+		trainer: trainer, opt: opt, src: src}
+	e.tele.init()
 	if cfg.DriftDetection {
 		e.driftDet = drift.NewPageHinkley(0.05, 3)
 	}
 	// The adaptive learner needs at least one node; scheduler creation is
 	// deferred to the first Step so users can populate the graph first.
 	e.mkScheduler = func() (*core.Scheduler, error) {
-		return core.NewScheduler(trainer, ccfg, strategy, rng)
+		return core.NewScheduler(trainer, ccfg, strategy, r)
 	}
 	return e, nil
 }
@@ -330,6 +392,11 @@ func (e *Engine) SetFeature(v int, feat []float64) { e.g.SetFeature(v, feat) }
 
 // SetNodeLabel attaches a self-supervision label to a node.
 func (e *Engine) SetNodeLabel(v int, label float64) { e.g.SetLabel(v, label) }
+
+// Graph exposes the engine's dynamic graph snapshot for callers that feed it
+// from a stream replayer or need direct read access (e.g. labelers computing
+// degree-based truths). Mutate it only between Step calls.
+func (e *Engine) Graph() *graph.Dynamic { return e.g }
 
 // NumNodes returns the number of nodes in the snapshot.
 func (e *Engine) NumNodes() int { return e.g.N() }
@@ -372,27 +439,46 @@ func (e *Engine) EnableLinkPrediction() {
 // current snapshot, computes embeddings, answers every query, and performs
 // the strategy's online training. Mutate the graph (AddNode/AddEdge/...)
 // between Step calls to feed the stream.
+//
+// Each phase — window expiry, forward inference, truth reveal, query
+// prediction, training — is timed into the engine's telemetry histograms;
+// see Telemetry.
 func (e *Engine) Step() error {
 	if e.g.N() == 0 {
 		return fmt.Errorf("streamgnn: cannot step an empty graph")
 	}
 	if e.sched == nil {
+		// When resuming from a checkpoint, scheduler construction must not
+		// advance the restored random stream: its draws (e.g. the KDE seed
+		// window init) are overwritten by the restored state anyway, and the
+		// uninterrupted run made them before the checkpoint was taken.
+		resuming := e.pending != nil
+		var rngState uint64
+		if resuming {
+			rngState = e.src.State()
+		}
 		s, err := e.mkScheduler()
 		if err != nil {
 			return err
 		}
 		e.sched = s
-		if len(e.pendingChips) > 0 && s.Adaptive != nil {
-			if err := s.Adaptive.Chips.Restore(e.pendingChips); err != nil {
-				return err
-			}
-			e.pendingChips = nil
+		if err := e.applyPendingRestore(); err != nil {
+			return err
+		}
+		if resuming {
+			e.src.SetState(rngState)
 		}
 	}
 	t := e.step
+	stepStart := time.Now()
+
+	phaseStart := stepStart
 	if e.cfg.WindowSteps > 0 {
 		e.g.ExpireEdgesBefore(int64(t - e.cfg.WindowSteps + 1))
 	}
+	e.tele.phases[phaseExpire].ObserveSince(phaseStart)
+
+	phaseStart = time.Now()
 	updated := e.g.Updated()
 	e.model.BeginStep(t)
 	// Inference over the whole snapshot (forward propagation is on the
@@ -400,12 +486,54 @@ func (e *Engine) Step() error {
 	tp := autodiff.NewTape()
 	emb := e.model.Forward(tp, dgnn.FullView(e.g))
 	e.lastEmb = emb.Value
+	e.tele.phases[phaseForward].ObserveSince(phaseStart)
+
+	phaseStart = time.Now()
 	e.wl.Reveal(e.g, t)
 	e.observeDrift()
+	e.tele.phases[phaseReveal].ObserveSince(phaseStart)
+
+	phaseStart = time.Now()
 	e.wl.Predict(e.lastEmb, t)
+	e.tele.phases[phasePredict].ObserveSince(phaseStart)
+
+	phaseStart = time.Now()
 	e.sched.OnStep(t, updated)
+	e.tele.phases[phaseTrain].ObserveSince(phaseStart)
+
 	e.g.ResetUpdated()
 	e.step++
+	e.tele.step.ObserveSince(stepStart)
+	e.tele.steps.Inc()
+	return nil
+}
+
+// applyPendingRestore pushes checkpoint state stashed by LoadCheckpoint into
+// the freshly created scheduler.
+func (e *Engine) applyPendingRestore() error {
+	p := e.pending
+	if p == nil {
+		return nil
+	}
+	e.pending = nil
+	e.sched.TrainSteps = p.trainSteps
+	a := e.sched.Adaptive
+	if a == nil {
+		return nil
+	}
+	if len(p.chips) > 0 {
+		if err := a.Chips.Restore(p.chips); err != nil {
+			return err
+		}
+	}
+	a.Trained, a.Moves, a.ParallelUnits = p.trained, p.moves, p.parallelUnits
+	if p.hasKDE {
+		if ks, ok := a.Sampler().(*core.KDESampler); ok {
+			if err := ks.RestoreSeedState(p.kdeSeeds, p.kdeOldest); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
 }
 
@@ -466,13 +594,13 @@ func (e *Engine) Outcomes() []Outcome {
 	return out
 }
 
-// Stats returns a snapshot of the online trainer's internals.
+// Stats returns a snapshot of the online trainer's internals. After
+// LoadCheckpoint (and before the first Step re-creates the scheduler) the
+// restored counters are reported from the stashed checkpoint state, so a
+// resumed engine never shows a dip to zero.
 func (e *Engine) Stats() Stats {
 	var s Stats
-	if e.sched == nil {
-		return s
-	}
-	ts := e.sched.Trainer.Stats
+	ts := e.trainer.Stats
 	s.SelfNodeTargets = int(ts.SelfNodeTargets)
 	s.SelfEdgeTargets = int(ts.SelfEdgeTargets)
 	s.SupNodeTargets = int(ts.SupNodeTargets)
@@ -483,6 +611,14 @@ func (e *Engine) Stats() Stats {
 	s.CacheMisses = cs.Misses
 	s.CacheInvalidations = cs.Invalidations
 	s.CacheHitRate = cs.HitRate()
+	if e.sched == nil {
+		if p := e.pending; p != nil {
+			s.TrainedPartitions = p.trained
+			s.ChipMoves = p.moves
+			s.ParallelUnits = p.parallelUnits
+		}
+		return s
+	}
 	if a := e.sched.Adaptive; a != nil {
 		s.TrainedPartitions = a.Trained
 		s.ChipMoves = a.Moves
@@ -514,7 +650,8 @@ func (e *Engine) Stats() Stats {
 }
 
 // Metrics summarizes all resolved predictions (and link-prediction results
-// when enabled).
+// when enabled). Event and link quality land in separate fields; see the
+// Metrics type for the aggregate semantics of N and AUC.
 func (e *Engine) Metrics() Metrics {
 	outs := e.wl.Outcomes()
 	var m Metrics
@@ -525,19 +662,22 @@ func (e *Engine) Metrics() Metrics {
 		truths = append(truths, o.Truth)
 		events = append(events, o.Event)
 	}
-	m.N = len(outs)
+	m.EventN = len(outs)
 	if len(outs) > 0 {
 		m.MSE = metrics.MSE(scores, truths)
-		m.AUC = metrics.AUC(scores, events)
+		m.EventAUC = metrics.AUC(scores, events)
+		m.AUC = m.EventAUC
 	}
 	if lt := e.wl.LinkTask(); lt != nil {
 		ls, ll := lt.Scores()
 		if len(ls) > 0 {
-			m.N += len(ls)
+			m.LinkN = len(ls)
 			m.Accuracy = metrics.Accuracy(ls, ll, 0) // logits: threshold 0
-			m.AUC = metrics.AUC(ls, ll)
+			m.LinkAUC = metrics.AUC(ls, ll)
+			m.AUC = m.LinkAUC // legacy aggregate: link wins when present
 			m.MRR = metrics.MRR(lt.Ranks())
 		}
 	}
+	m.N = m.EventN + m.LinkN
 	return m
 }

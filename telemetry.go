@@ -1,0 +1,100 @@
+package streamgnn
+
+import (
+	"streamgnn/internal/obs"
+)
+
+// Phase names of one Engine.Step, in execution order. Each phase has its own
+// latency histogram in Telemetry.Phases under these keys.
+const (
+	PhaseExpire  = "expire"  // sliding-window edge expiry
+	PhaseForward = "forward" // full-snapshot forward inference
+	PhaseReveal  = "reveal"  // truth reveal + drift observation
+	PhasePredict = "predict" // query answering from fresh embeddings
+	PhaseTrain   = "train"   // the strategy's online training
+)
+
+// indices into engineTelemetry.phases, aligned with StepPhases().
+const (
+	phaseExpire = iota
+	phaseForward
+	phaseReveal
+	phasePredict
+	phaseTrain
+	numPhases
+)
+
+// StepPhases returns the phase names of one Step in execution order.
+func StepPhases() []string {
+	return []string{PhaseExpire, PhaseForward, PhaseReveal, PhasePredict, PhaseTrain}
+}
+
+// engineTelemetry holds the engine's internal instruments. Histograms and
+// counters are individually atomic, so Telemetry() may be called concurrently
+// with Step — snapshots are only loosely consistent (counts may straddle an
+// in-flight step), which is fine for monitoring.
+type engineTelemetry struct {
+	steps  obs.Counter
+	step   *obs.Histogram
+	phases [numPhases]*obs.Histogram
+}
+
+func (t *engineTelemetry) init() {
+	t.step = obs.NewHistogram(obs.DefaultLatencyBuckets())
+	for i := range t.phases {
+		t.phases[i] = obs.NewHistogram(obs.DefaultLatencyBuckets())
+	}
+}
+
+// TelemetryHistogram is a latency distribution snapshot: per-bucket counts
+// (not cumulative) over log-spaced upper bounds in seconds, plus the count
+// and sum of all observations.
+type TelemetryHistogram struct {
+	// Count is the number of observations; Sum their total in seconds.
+	Count int64
+	Sum   float64
+	// Bounds are the inclusive bucket upper bounds in seconds; Counts has
+	// one extra trailing slot for observations above the last bound.
+	Bounds []float64
+	Counts []int64
+}
+
+// Mean returns the mean observation in seconds (0 when empty).
+func (h TelemetryHistogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Telemetry is a point-in-time snapshot of the engine's operational
+// instruments: step throughput and per-phase latency distributions.
+// Counter-style observability (training targets, cache activity, chip moves)
+// stays on Stats; Telemetry covers where the time goes.
+type Telemetry struct {
+	// Steps is the number of completed Step calls.
+	Steps int64
+	// Step is the whole-step latency distribution.
+	Step TelemetryHistogram
+	// Phases maps each StepPhases() name to its latency distribution.
+	Phases map[string]TelemetryHistogram
+}
+
+// Telemetry returns a snapshot of the engine's step and phase timings. Safe
+// to call concurrently with Step.
+func (e *Engine) Telemetry() Telemetry {
+	t := Telemetry{
+		Steps:  e.tele.steps.Value(),
+		Step:   histSnapshot(e.tele.step),
+		Phases: make(map[string]TelemetryHistogram, numPhases),
+	}
+	for i, name := range StepPhases() {
+		t.Phases[name] = histSnapshot(e.tele.phases[i])
+	}
+	return t
+}
+
+func histSnapshot(h *obs.Histogram) TelemetryHistogram {
+	s := h.Snapshot()
+	return TelemetryHistogram{Count: s.Count, Sum: s.Sum, Bounds: s.Bounds, Counts: s.Counts}
+}
