@@ -16,8 +16,11 @@ import (
 // checkpointVersion guards the on-disk format. Version 2 extended the
 // learned-state-only v1 with the full runtime state (random stream,
 // optimizer moments, workload, scheduler counters), making a graceful
-// shutdown + resume reproduce the uninterrupted run.
-const checkpointVersion = 2
+// shutdown + resume reproduce the uninterrupted run. Version 3 added the
+// incremental-forward embedding cache (Emb/EmbLastFull), so a resumed
+// incremental run splices into the same matrix instead of starting with a
+// forced full forward.
+const checkpointVersion = 3
 
 // checkpoint is the gob-encoded engine state: everything *learned* — model
 // and head parameters, recurrent state, the chip distribution — plus the
@@ -51,6 +54,11 @@ type checkpoint struct {
 	Workload      query.WorkloadState
 	Drift         *drift.PageHinkleyState
 	SeenOutcomes  int
+
+	// Incremental-forward embedding cache (v3); nil when the cache was
+	// invalid at save time (engine not in incremental mode, or pre-Step).
+	Emb         *dgnn.StateDump
+	EmbLastFull int
 }
 
 // CheckpointInfo is the identifying header of a saved checkpoint.
@@ -87,6 +95,8 @@ func (e *Engine) SaveCheckpoint(w io.Writer) error {
 		RngState:     e.src.State(),
 		Workload:     e.wl.DumpState(),
 		SeenOutcomes: e.seenOutcomes,
+		Emb:          e.emb.Dump(),
+		EmbLastFull:  e.emb.LastFullStep(),
 	}
 	for _, p := range e.allParams() {
 		ck.Params = append(ck.Params, dgnn.StateDump{
@@ -209,10 +219,19 @@ func (e *Engine) LoadCheckpoint(r io.Reader) error {
 			return err
 		}
 	}
+	if err := e.emb.Restore(ck.Emb, ck.EmbLastFull); err != nil {
+		return err
+	}
+	if e.emb.Valid() {
+		e.lastEmb = e.emb.Matrix()
+	}
 	// The caller rebuilt the graph by replaying the whole stream, which marks
 	// every node updated; the saved run had cleared the set at the end of its
 	// last step. Clear it so the first resumed step sees only the mutations
-	// applied after this load.
+	// applied after this load. The forward-dirty set accumulated the same
+	// replay churn: drain it too, or the first resumed incremental step would
+	// recompute the whole graph.
 	e.g.ResetUpdated()
+	e.g.TakeDirty()
 	return nil
 }

@@ -56,12 +56,20 @@ func main() {
 	ckptPath := flag.String("checkpoint", "", "checkpoint file written on graceful shutdown (and read by -resume)")
 	resume := flag.Bool("resume", false, "resume from -checkpoint: replay the stream up to the saved step, then continue")
 	rate := flag.Float64("rate", 0, "max replay steps per second; 0 replays at full speed")
+	incremental := flag.Bool("incremental", false, "dirty-region incremental forward inference (see DESIGN.md §10)")
+	refreshEvery := flag.Int("refresh-every", 0, "with -incremental: force a full forward every N steps (0 = never)")
+	dirtyThreshold := flag.Float64("dirty-threshold", 0, "with -incremental: compute-region fraction above which a step falls back to a full forward (0 = engine default of 0.25, >=1 never falls back)")
+	interval := flag.Int("interval", 0, "steps between training steps (0 = engine default of 1; raise so -incremental can reuse cached embeddings between training steps)")
+	kernelWorkers := flag.Int("kernel-workers", 0, "tensor-kernel parallelism (0 = serial, negative = NumCPU)")
 	flag.Parse()
 
 	opts := options{
 		dataset: *dataset, input: *input, model: *model, strategy: *strategy,
 		steps: *steps, seed: *seed, hidden: *hidden, drift: *detectDrift,
 		listen: *listen, ckptPath: *ckptPath, resume: *resume, rate: *rate,
+		incremental: *incremental, refreshEvery: *refreshEvery,
+		dirtyThreshold: *dirtyThreshold,
+		interval:       *interval, kernelWorkers: *kernelWorkers,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "queryd:", err)
@@ -79,6 +87,11 @@ type options struct {
 	ckptPath                        string
 	resume                          bool
 	rate                            float64
+	incremental                     bool
+	refreshEvery                    int
+	dirtyThreshold                  float64
+	interval                        int
+	kernelWorkers                   int
 }
 
 func run(opts options) error {
@@ -109,12 +122,17 @@ func run(opts options) error {
 		return err
 	}
 	eng, err := streamgnn.NewEngine(ds.FeatDim, streamgnn.Config{
-		Model:          opts.model,
-		Strategy:       opts.strategy,
-		Hidden:         opts.hidden,
-		Seed:           opts.seed,
-		WindowSteps:    ds.WindowSteps,
-		DriftDetection: opts.drift,
+		Model:              opts.model,
+		Strategy:           opts.strategy,
+		Hidden:             opts.hidden,
+		Seed:               opts.seed,
+		WindowSteps:        ds.WindowSteps,
+		DriftDetection:     opts.drift,
+		IncrementalForward: opts.incremental,
+		RefreshEverySteps:  opts.refreshEvery,
+		DirtyFullThreshold: opts.dirtyThreshold,
+		Interval:           opts.interval,
+		KernelWorkers:      opts.kernelWorkers,
 	})
 	if err != nil {
 		return err
@@ -425,6 +443,16 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	obs.WriteHeader(&b, "streamgnn_step_phase_seconds", "Per-phase step latency.", "histogram")
 	for _, phase := range streamgnn.StepPhases() {
 		obs.WriteHistogram(&b, "streamgnn_step_phase_seconds", fmt.Sprintf("phase=%q", phase), snap(tel.Phases[phase]))
+	}
+
+	obs.WriteHeader(&b, "streamgnn_forwards_total", "Forward inference passes, by mode.", "counter")
+	obs.WriteIntValue(&b, "streamgnn_forwards_total", `mode="full"`, tel.FullForwards)
+	obs.WriteIntValue(&b, "streamgnn_forwards_total", `mode="incremental"`, tel.IncrementalForwards)
+	obs.WriteHeader(&b, "streamgnn_forward_skipped_rows_total", "Embedding rows incremental forwards did not recompute.", "counter")
+	obs.WriteIntValue(&b, "streamgnn_forward_skipped_rows_total", "", tel.SkippedRows)
+	if tel.DirtyFraction.Count > 0 {
+		obs.WriteHeader(&b, "streamgnn_forward_dirty_fraction", "Per-step compute-region fraction in incremental mode.", "histogram")
+		obs.WriteHistogram(&b, "streamgnn_forward_dirty_fraction", "", snap(tel.DirtyFraction))
 	}
 
 	obs.WriteHeader(&b, "streamgnn_train_targets_total", "Training targets consumed, by kind.", "counter")

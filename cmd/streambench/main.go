@@ -13,8 +13,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"streamgnn/internal/bench"
+	"streamgnn/internal/tensor"
 )
 
 func main() {
@@ -25,16 +27,29 @@ func main() {
 	runs := flag.Int("runs", 10, "repetitions per cell (the paper uses 10)")
 	steps := flag.Int("steps", 40, "stream steps per run")
 	scale := flag.Float64("scale", 1, "workload scale factor")
+	kernelWorkers := flag.Int("kernel-workers", 0, "tensor-kernel parallelism (0 = serial, negative = NumCPU)")
 	flag.Parse()
+
+	if *kernelWorkers < 0 {
+		tensor.SetParallelism(runtime.NumCPU())
+	} else if *kernelWorkers > 0 {
+		tensor.SetParallelism(*kernelWorkers)
+	}
 
 	var err error
 	if *hotpath {
-		fmt.Printf("HOT PATH: partition cache and parallel pair evaluation (%d timed steps)\n\n", *steps)
+		fmt.Printf("HOT PATH: partition cache, parallel pairs and incremental forward (%d timed steps)\n\n", *steps)
 		rep, herr := bench.RunHotPath("Bitcoin", "TGCN", *steps, 1)
 		if herr != nil {
 			fmt.Fprintln(os.Stderr, "streambench:", herr)
 			os.Exit(1)
 		}
+		ab, aerr := bench.RunForwardAB("TGCN", *steps)
+		if aerr != nil {
+			fmt.Fprintln(os.Stderr, "streambench:", aerr)
+			os.Exit(1)
+		}
+		rep.Forward = &ab
 		fmt.Print(rep.String())
 		if *jsonOut != "" {
 			data, jerr := json.MarshalIndent(rep, "", "  ")

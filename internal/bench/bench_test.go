@@ -233,3 +233,25 @@ func TestRunScaling(t *testing.T) {
 		t.Fatal("WriteScaling output missing header")
 	}
 }
+
+func TestRunForwardAB(t *testing.T) {
+	ab, err := RunForwardAB("TGCN", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab.FullStepsPerSec <= 0 || ab.IncStepsPerSec <= 0 {
+		t.Fatalf("degenerate throughput: %+v", ab)
+	}
+	if ab.IncIncForwards == 0 {
+		t.Fatal("incremental engine never took the incremental path")
+	}
+	// The acceptance bar (>= 2x on a sparse-update stream) is checked by the
+	// CI bench job; here only assert the direction so ambient load cannot
+	// flake the unit suite.
+	if ab.Speedup <= 1 {
+		t.Fatalf("incremental slower than full: %+v", ab)
+	}
+	if !strings.Contains(ab.String(), "incremental") {
+		t.Fatal("ForwardAB String missing mode label")
+	}
+}

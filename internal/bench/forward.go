@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"streamgnn"
+)
+
+// ForwardAB compares full-snapshot forward inference against the
+// dirty-region incremental path (Config.IncrementalForward) on a synthetic
+// sparse-update stream: per step only DirtyPerStep nodes (well under 5% of
+// the graph) change features or gain an edge, so the compute region stays a
+// small fraction of the snapshot and the incremental engine splices instead
+// of recomputing.
+type ForwardAB struct {
+	Nodes        int
+	DirtyPerStep int
+	Model        string
+	// FullStepsPerSec / IncStepsPerSec are whole-Step throughputs of the
+	// baseline and incremental engines on the identical stream; Speedup is
+	// their ratio.
+	FullStepsPerSec float64
+	IncStepsPerSec  float64
+	Speedup         float64
+	// IncFullForwards / IncIncForwards break down how the incremental
+	// engine's measured steps were served.
+	IncFullForwards int64
+	IncIncForwards  int64
+}
+
+// newForwardEngine builds an engine over a ring-plus-chords graph of n
+// nodes. Training is effectively disabled (huge Interval) so the comparison
+// isolates the inference phase, which is what the incremental path changes.
+func newForwardEngine(model string, n int, incremental bool) (*streamgnn.Engine, error) {
+	cfg := streamgnn.DefaultConfig()
+	cfg.Model = model
+	cfg.Strategy = streamgnn.StrategyWeighted
+	cfg.Hidden = 16
+	cfg.Seed = 42
+	cfg.Interval = 1 << 30
+	cfg.IncrementalForward = incremental
+	e, err := streamgnn.NewEngine(8, cfg)
+	if err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < n; i++ {
+		f := make([]float64, 8)
+		f[i%8] = 1
+		e.AddNode(0, f)
+	}
+	for i := 0; i < n; i++ {
+		e.AddUndirectedEdge(i, (i+1)%n, 0)
+	}
+	// Sparse chords keep L-hop balls small while breaking pure-ring symmetry.
+	for i := 0; i < n/50; i++ {
+		e.AddUndirectedEdge(r.Intn(n), r.Intn(n), 0)
+	}
+	return e, nil
+}
+
+// mutateSparse applies step s's mutations: dirty feature rewrites plus one
+// new edge, touching the same nodes in both engines.
+func mutateSparse(e *streamgnn.Engine, n, dirty, s int) {
+	for k := 0; k < dirty; k++ {
+		v := (s*31 + k*97) % n
+		f := make([]float64, 8)
+		f[(s+k)%8] = float64(s%7) * 0.3
+		e.SetFeature(v, f)
+	}
+	e.AddEdge((s*13)%n, (s*17+5)%n, 0)
+}
+
+// RunForwardAB measures whole-Step throughput of a full-forward engine and
+// an incremental-forward engine on the same sparse-update stream of the
+// given length, after an identical warmup.
+func RunForwardAB(model string, steps int) (ForwardAB, error) {
+	const n = 3000
+	dirty := n / 100 // 1% of nodes per step
+	ab := ForwardAB{Nodes: n, DirtyPerStep: dirty, Model: model}
+
+	run := func(incremental bool) (float64, *streamgnn.Engine, error) {
+		e, err := newForwardEngine(model, n, incremental)
+		if err != nil {
+			return 0, nil, err
+		}
+		// Warmup: step 0 trains once (0 % Interval == 0) and invalidates the
+		// incremental cache; two more steps re-establish it.
+		for s := 0; s < 3; s++ {
+			mutateSparse(e, n, dirty, s)
+			if err := e.Step(); err != nil {
+				return 0, nil, err
+			}
+		}
+		start := time.Now()
+		for s := 3; s < 3+steps; s++ {
+			mutateSparse(e, n, dirty, s)
+			if err := e.Step(); err != nil {
+				return 0, nil, err
+			}
+		}
+		return float64(steps) / time.Since(start).Seconds(), e, nil
+	}
+
+	// Interleave three reps of each mode and keep the medians, like the
+	// hot-path training comparison.
+	var full, inc [3]float64
+	var incEngine *streamgnn.Engine
+	for r := 0; r < 3; r++ {
+		var err error
+		if full[r], _, err = run(false); err != nil {
+			return ab, err
+		}
+		if inc[r], incEngine, err = run(true); err != nil {
+			return ab, err
+		}
+	}
+	ab.FullStepsPerSec = median3(full[0], full[1], full[2])
+	ab.IncStepsPerSec = median3(inc[0], inc[1], inc[2])
+	if ab.FullStepsPerSec > 0 {
+		ab.Speedup = ab.IncStepsPerSec / ab.FullStepsPerSec
+	}
+	tele := incEngine.Telemetry()
+	ab.IncFullForwards = tele.FullForwards
+	ab.IncIncForwards = tele.IncrementalForwards
+	return ab, nil
+}
+
+// String renders the comparison for the streambench table output.
+func (ab ForwardAB) String() string {
+	return fmt.Sprintf(
+		"Forward inference (%s, %d nodes, %d dirty/step)\n  full %.1f st/s, incremental %.1f st/s (%.2fx; %d inc / %d full forwards)\n",
+		ab.Model, ab.Nodes, ab.DirtyPerStep,
+		ab.FullStepsPerSec, ab.IncStepsPerSec, ab.Speedup,
+		ab.IncIncForwards, ab.IncFullForwards)
+}

@@ -103,6 +103,9 @@ type HotPathReport struct {
 	ColdNs, WarmNs float64
 	CacheSpeedup   float64
 	HitRate        float64
+	// Forward is the full vs. incremental inference comparison (see
+	// RunForwardAB); nil when the forward A/B was not run.
+	Forward *ForwardAB
 }
 
 // timeSteps measures adaptive-step throughput (steps/sec) for one
@@ -235,6 +238,9 @@ func (r HotPathReport) String() string {
 	for _, p := range r.Points {
 		fmt.Fprintf(&b, "  %-8d %-9d %14.1f %15.1f %8.2fx\n",
 			p.Pairs, p.Workers, p.BaselinePerSec, p.OptimizedPerSec, p.Speedup)
+	}
+	if r.Forward != nil {
+		b.WriteString(r.Forward.String())
 	}
 	return b.String()
 }

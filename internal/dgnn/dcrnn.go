@@ -46,6 +46,9 @@ func (m *DCRNNModel) Params() []*autodiff.Node { return m.cell.Params() }
 // training forwards.
 func (m *DCRNNModel) BeginStep(t int) { m.state.snapshot() }
 
+// Memoryless implements Model: DCRNN carries per-node GRU state.
+func (m *DCRNNModel) Memoryless() bool { return false }
+
 // Reset implements Model.
 func (m *DCRNNModel) Reset() { m.state.reset() }
 

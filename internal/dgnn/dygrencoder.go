@@ -53,6 +53,9 @@ func (m *DyGrEncoderModel) BeginStep(t int) {
 	m.cState.snapshot()
 }
 
+// Memoryless implements Model: DyGrEncoder carries per-node LSTM state.
+func (m *DyGrEncoderModel) Memoryless() bool { return false }
+
 // Reset implements Model.
 func (m *DyGrEncoderModel) Reset() {
 	m.hState.reset()

@@ -80,6 +80,10 @@ func (m *EvolveGCNModel) BeginStep(t int) {
 	}
 }
 
+// Memoryless implements Model: the weight matrices evolve every step, so a
+// cached embedding row reflects the weights of the step it was computed at.
+func (m *EvolveGCNModel) Memoryless() bool { return false }
+
 // Reset implements Model: forgets captured evolutions (starting weights are
 // kept, as they are the model's only weights).
 func (m *EvolveGCNModel) Reset() {

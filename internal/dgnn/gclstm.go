@@ -49,6 +49,9 @@ func (m *GCLSTMModel) BeginStep(t int) {
 	m.cState.snapshot()
 }
 
+// Memoryless implements Model: GC-LSTM carries per-node LSTM state.
+func (m *GCLSTMModel) Memoryless() bool { return false }
+
 // Reset implements Model.
 func (m *GCLSTMModel) Reset() {
 	m.hState.reset()

@@ -1,0 +1,107 @@
+package dgnn
+
+import (
+	"fmt"
+
+	"streamgnn/internal/tensor"
+)
+
+// EmbStore is the managed per-node embedding matrix behind incremental
+// forward inference. A full forward installs its output wholesale with
+// SetFull; an incremental forward computes embeddings for a dirty region's
+// compute subgraph and splices only the exact rows back with Splice. The
+// store owns the matrices handed to it and mutates them in place; callers
+// that need a stable copy must clone before handing over.
+type EmbStore struct {
+	emb      *tensor.Matrix
+	lastFull int // step index of the most recent full forward
+}
+
+// NewEmbStore returns an empty, invalid store.
+func NewEmbStore() *EmbStore { return &EmbStore{lastFull: -1} }
+
+// Valid reports whether the store holds an embedding matrix to splice into.
+func (s *EmbStore) Valid() bool { return s.emb != nil }
+
+// Rows returns the number of node rows held, 0 when invalid.
+func (s *EmbStore) Rows() int {
+	if s.emb == nil {
+		return 0
+	}
+	return s.emb.Rows
+}
+
+// LastFullStep returns the step index of the last full forward, -1 if none.
+func (s *EmbStore) LastFullStep() int { return s.lastFull }
+
+// SetFull installs m as the complete embedding matrix computed at step t,
+// taking ownership of m.
+func (s *EmbStore) SetFull(m *tensor.Matrix, t int) {
+	s.emb = m
+	s.lastFull = t
+}
+
+// Matrix returns the live embedding matrix (not a copy); nil when invalid.
+func (s *EmbStore) Matrix() *tensor.Matrix { return s.emb }
+
+// Splice overwrites the stored rows for the given global node ids with the
+// corresponding local rows of m. rows are local indices into m, ids the
+// matching global node ids (same length, ids ascending). Nodes beyond the
+// current row count grow the store; grown-but-unwritten rows stay zero
+// until their own splice or the next full forward.
+func (s *EmbStore) Splice(m *tensor.Matrix, rows, ids []int) {
+	if s.emb == nil {
+		panic("dgnn: Splice on invalid EmbStore")
+	}
+	if len(rows) != len(ids) {
+		panic(fmt.Sprintf("dgnn: Splice rows/ids length mismatch: %d vs %d", len(rows), len(ids)))
+	}
+	if m.Cols != s.emb.Cols {
+		panic(fmt.Sprintf("dgnn: Splice column mismatch: %d vs %d", m.Cols, s.emb.Cols))
+	}
+	if n := len(ids); n > 0 && ids[n-1] >= s.emb.Rows {
+		s.grow(ids[n-1] + 1)
+	}
+	for k, i := range rows {
+		copy(s.emb.Row(ids[k]), m.Row(i))
+	}
+}
+
+// grow extends the embedding matrix to n rows, preserving existing rows and
+// zero-filling the new ones.
+func (s *EmbStore) grow(n int) {
+	grown := tensor.New(n, s.emb.Cols)
+	copy(grown.Data, s.emb.Data)
+	s.emb = grown
+}
+
+// Invalidate drops the stored matrix, forcing the next forward to be full.
+func (s *EmbStore) Invalidate() {
+	s.emb = nil
+	s.lastFull = -1
+}
+
+// Dump serializes the store's matrix for checkpointing; nil when invalid.
+func (s *EmbStore) Dump() *StateDump {
+	if s.emb == nil {
+		return nil
+	}
+	d := dumpMatrix(s.emb)
+	return &d
+}
+
+// Restore replaces the store's contents from a checkpoint dump. A nil dump
+// invalidates the store.
+func (s *EmbStore) Restore(d *StateDump, lastFull int) error {
+	if d == nil {
+		s.Invalidate()
+		return nil
+	}
+	m, err := d.matrix()
+	if err != nil {
+		return err
+	}
+	s.emb = m
+	s.lastFull = lastFull
+	return nil
+}

@@ -30,6 +30,12 @@ type View struct {
 	// NoCommit, when set, prevents the forward pass from writing updated
 	// recurrent state back (useful for what-if evaluation).
 	NoCommit bool
+	// CommitRows, when non-nil on a committed view, restricts recurrent-state
+	// write-back to these local row indices (ascending). Incremental forwards
+	// use it: the view spans the whole compute region, but only the exact
+	// rows — the dirty nodes' L-hop frontier — may overwrite live state;
+	// boundary rows have truncated receptive fields and must not.
+	CommitRows []int
 	// TypedFn lazily builds per-relation normalized adjacencies for
 	// relation-aware models (RTGCN); nil for views that cannot provide it.
 	TypedFn func(ntypes int) []*tensor.CSR
@@ -60,6 +66,37 @@ func SubView(s *graph.Subgraph) View {
 	}
 }
 
+// DirtyView builds the view of an incremental forward: the induced subgraph
+// of the compute region (the dirty nodes' 2L-hop ball), with recurrent-state
+// commit restricted to the exact rows (the dirty nodes' L-hop ball, as local
+// indices). Rows listed in commitRows come out bit-identical to a full-graph
+// forward for memoryless models, because the subgraph normalization uses
+// global degrees and every node within L hops of an exact row is inside the
+// region.
+func DirtyView(s *graph.Subgraph, commitRows []int) View {
+	v := SubView(s)
+	v.CommitRows = commitRows
+	return v
+}
+
+// LocalRows returns the positions in nodes (ascending, unique) of the ids in
+// subset (ascending, a subset of nodes) — the local row indices a DirtyView
+// commits and an EmbStore splices.
+func LocalRows(nodes, subset []int) []int {
+	rows := make([]int, 0, len(subset))
+	j := 0
+	for i, v := range nodes {
+		if j < len(subset) && subset[j] == v {
+			rows = append(rows, i)
+			j++
+		}
+	}
+	if j != len(subset) {
+		panic(fmt.Sprintf("dgnn: LocalRows subset has %d ids outside nodes", len(subset)-j))
+	}
+	return rows
+}
+
 // globalID returns the global node id of view row i.
 func (v View) globalID(i int) int {
 	if v.IDs == nil {
@@ -81,6 +118,12 @@ type Model interface {
 	// BeginStep announces that the stream advanced to step t. Models with
 	// per-step weight dynamics (EvolveGCN) hook this.
 	BeginStep(t int)
+	// Memoryless reports whether Forward is a pure function of the view —
+	// no recurrent state and no per-step weight dynamics. For memoryless
+	// models incremental dirty-region inference is exact (bit-identical to
+	// a full forward); for stateful models it is bounded-staleness: rows
+	// outside the dirty frontier keep their last committed state.
+	Memoryless() bool
 	// Forward computes gradient-tracked embeddings (view.N × Hidden) and,
 	// unless view.NoCommit, writes updated recurrent state for the view's
 	// nodes (detached).

@@ -52,6 +52,9 @@ func (m *ROLANDModel) BeginStep(t int) {
 	m.h2.snapshot()
 }
 
+// Memoryless implements Model: ROLAND carries per-node layerwise state.
+func (m *ROLANDModel) Memoryless() bool { return false }
+
 // Reset implements Model.
 func (m *ROLANDModel) Reset() {
 	m.h1.reset()

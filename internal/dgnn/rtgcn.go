@@ -59,6 +59,9 @@ func (m *RTGCNModel) Params() []*autodiff.Node { return nn.CollectParams(m.enc, 
 // BeginStep implements Model.
 func (m *RTGCNModel) BeginStep(t int) { m.state.snapshot() }
 
+// Memoryless implements Model: RTGCN carries per-node GRU state.
+func (m *RTGCNModel) Memoryless() bool { return false }
+
 // Reset implements Model.
 func (m *RTGCNModel) Reset() { m.state.reset() }
 

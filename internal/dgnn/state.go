@@ -89,12 +89,21 @@ func (s *nodeState) gather(v View) *tensor.Matrix {
 	return out
 }
 
-// write stores m's rows back into the view's nodes.
+// write stores m's rows back into the view's nodes. When the view carries a
+// CommitRows mask (incremental forwards), only the exact rows land; boundary
+// rows of the compute region keep their previous state.
 func (s *nodeState) write(v View, m *tensor.Matrix) {
 	if m.Rows != v.N || m.Cols != s.dim {
 		panic("dgnn: state write shape mismatch")
 	}
 	s.ensure(s.maxID(v) + 1)
+	if v.CommitRows != nil {
+		for _, i := range v.CommitRows {
+			id := v.globalID(i)
+			copy(s.data[id*s.dim:(id+1)*s.dim], m.Row(i))
+		}
+		return
+	}
 	for i := 0; i < v.N; i++ {
 		id := v.globalID(i)
 		copy(s.data[id*s.dim:(id+1)*s.dim], m.Row(i))

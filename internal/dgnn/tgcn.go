@@ -45,6 +45,9 @@ func (m *TGCNModel) Params() []*autodiff.Node { return nn.CollectParams(m.enc, m
 // training forwards.
 func (m *TGCNModel) BeginStep(t int) { m.state.snapshot() }
 
+// Memoryless implements Model: TGCN carries per-node GRU state.
+func (m *TGCNModel) Memoryless() bool { return false }
+
 // Reset implements Model.
 func (m *TGCNModel) Reset() { m.state.reset() }
 

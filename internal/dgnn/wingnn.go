@@ -51,6 +51,11 @@ func (m *WinGNNModel) Params() []*autodiff.Node {
 // BeginStep implements Model.
 func (m *WinGNNModel) BeginStep(t int) {}
 
+// Memoryless implements Model: WinGNN is a pure GCN stack — its temporal
+// adaptation lives entirely in the optimizer's gradient window, so Forward
+// depends only on the view and incremental inference is exact.
+func (m *WinGNNModel) Memoryless() bool { return true }
+
 // Reset implements Model.
 func (m *WinGNNModel) Reset() {}
 

@@ -56,6 +56,10 @@ type Dynamic struct {
 	// incremental.
 	actDirty map[int]struct{}
 
+	// fwdDirty accumulates forward-inference dirty nodes between TakeDirty
+	// calls (see dirty.go); nil until EnableDirtyTracking.
+	fwdDirty map[int]struct{}
+
 	cache *PartitionCache
 
 	cacheVersion int64
@@ -99,6 +103,16 @@ func (g *Dynamic) touch(v int) {
 	}
 }
 
+// markFwdDirty records v as forward-inference dirty (see dirty.go). Only
+// mutations that change what Forward computes — features, incident edges,
+// degrees — call it; label-only writes (delayed supervision) do not, so a
+// step whose sole activity is truth reveal stays a quiet step.
+func (g *Dynamic) markFwdDirty(v int) {
+	if g.fwdDirty != nil {
+		g.fwdDirty[v] = struct{}{}
+	}
+}
+
 // AddNode appends a node of type t with the given attribute vector (padded
 // or truncated to FeatDim) and returns its id. New nodes start unlabeled.
 func (g *Dynamic) AddNode(t NodeType, feat []float64) int {
@@ -111,6 +125,7 @@ func (g *Dynamic) AddNode(t NodeType, feat []float64) int {
 	g.out = append(g.out, nil)
 	g.in = append(g.in, nil)
 	g.touch(id)
+	g.markFwdDirty(id)
 	return id
 }
 
@@ -130,6 +145,8 @@ func (g *Dynamic) AddLabeledEdge(u, v int, et EdgeType, ts int64, label float64)
 	g.in[v] = append(g.in[v], Edge{To: u, Type: et, Time: ts, Label: label})
 	g.touch(u)
 	g.touch(v)
+	g.markFwdDirty(u)
+	g.markFwdDirty(v)
 }
 
 // AddUndirectedEdge inserts edges in both directions.
@@ -156,6 +173,7 @@ func (g *Dynamic) SetFeature(v int, feat []float64) {
 		}
 	}
 	g.touch(v)
+	g.markFwdDirty(v)
 }
 
 // Feature returns a view of node v's attribute vector.
@@ -199,8 +217,8 @@ func (g *Dynamic) NumEdges() int {
 // ExpireEdgesBefore drops every edge with Time < ts, implementing the
 // sliding-window view of the stream. Nodes are kept. Expiry does not feed
 // the update set U (Algorithm 1 reacts to new data, not to data aging out),
-// but it does mark affected nodes activity-dirty and invalidates their
-// cached partitions.
+// but it does mark affected nodes activity-dirty and forward-dirty and
+// invalidates their cached partitions.
 func (g *Dynamic) ExpireEdgesBefore(ts int64) {
 	changed := false
 	filter := func(es []Edge) ([]Edge, bool) {
@@ -220,6 +238,7 @@ func (g *Dynamic) ExpireEdgesBefore(ts int64) {
 		if co || ci {
 			changed = true
 			g.actDirty[v] = struct{}{}
+			g.markFwdDirty(v)
 			if g.cache != nil {
 				g.cache.invalidate(v)
 			}

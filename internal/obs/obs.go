@@ -43,6 +43,18 @@ func DefaultLatencyBuckets() []float64 {
 	return bounds
 }
 
+// FractionBuckets returns histogram bounds for ratios in [0, 1] (e.g. the
+// dirty fraction of incremental forward inference): 0 exactly, then 20
+// linear 0.05-wide buckets up to 1. The zero bucket isolates quiet steps —
+// cache reuse with no recomputation — from steps that touched any node.
+func FractionBuckets() []float64 {
+	bounds := make([]float64, 21)
+	for i := 1; i < len(bounds); i++ {
+		bounds[i] = float64(i) * 0.05
+	}
+	return bounds
+}
+
 // Histogram is a fixed-bucket latency histogram. Observations are recorded
 // with atomic adds only (one bucket increment, one count increment, one CAS
 // loop for the float sum), so it is safe and cheap to call from concurrent

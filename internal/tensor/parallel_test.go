@@ -26,18 +26,38 @@ func TestParallelKernelsMatchSerial(t *testing.T) {
 	b := NewRandom(rng, 40, 24, 1)
 	c := randomCSR(rng, 300, 300, 0.02)
 	x := NewRandom(rng, 300, 24, 1)
+	// TransA shards over a's columns, TransB over a's rows: both dimensions
+	// must cross 2*parThreshold for the parallel paths to engage.
+	wideA := NewRandom(rng, 500, 3*parThreshold, 1)
+	wideB := NewRandom(rng, 500, 48, 1)
+	tallA := NewRandom(rng, 3*parThreshold, 48, 1)
+	tallB := NewRandom(rng, 200, 48, 1)
+	// Exact zeros exercise the skip branches in both TransA paths.
+	for i := 0; i < len(wideA.Data); i += 7 {
+		wideA.Data[i] = 0
+	}
 
 	SetParallelism(1)
 	mmSerial := MatMul(a, b)
 	spSerial := SpMM(c, x)
+	taSerial := MatMulTransA(wideA, wideB)
+	tbSerial := MatMulTransB(tallA, tallB)
 	SetParallelism(4)
 	mmPar := MatMul(a, b)
 	spPar := SpMM(c, x)
+	taPar := MatMulTransA(wideA, wideB)
+	tbPar := MatMulTransB(tallA, tallB)
 	if !mmSerial.Equal(mmPar) {
 		t.Fatal("parallel MatMul differs from serial")
 	}
 	if !spSerial.Equal(spPar) {
 		t.Fatal("parallel SpMM differs from serial")
+	}
+	if !taSerial.Equal(taPar) {
+		t.Fatal("parallel MatMulTransA differs from serial")
+	}
+	if !tbSerial.Equal(tbPar) {
+		t.Fatal("parallel MatMulTransB differs from serial")
 	}
 }
 
@@ -75,12 +95,29 @@ func BenchmarkParallelKernels(b *testing.B) {
 	rng := rand.New(rand.NewSource(2))
 	a := NewRandom(rng, 2000, 64, 1)
 	w := NewRandom(rng, 64, 64, 1)
+	wideA := NewRandom(rng, 2000, 256, 1)
+	wideB := NewRandom(rng, 2000, 64, 1)
+	tallB := NewRandom(rng, 500, 64, 1)
 	for _, workers := range []int{1, 4} {
 		b.Run(benchName("matmul", workers), func(b *testing.B) {
 			SetParallelism(workers)
 			defer SetParallelism(1)
 			for i := 0; i < b.N; i++ {
 				MatMul(a, w)
+			}
+		})
+		b.Run(benchName("matmultransa", workers), func(b *testing.B) {
+			SetParallelism(workers)
+			defer SetParallelism(1)
+			for i := 0; i < b.N; i++ {
+				MatMulTransA(wideA, wideB)
+			}
+		})
+		b.Run(benchName("matmultransb", workers), func(b *testing.B) {
+			SetParallelism(workers)
+			defer SetParallelism(1)
+			for i := 0; i < b.N; i++ {
+				MatMulTransB(a, tallB)
 			}
 		})
 	}

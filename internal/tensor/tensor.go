@@ -184,13 +184,25 @@ func matMulRange(a, b, out *Matrix, lo, hi int) {
 	}
 }
 
-// MatMulTransB returns a·bᵀ.
+// MatMulTransB returns a·bᵀ. Like MatMul, large outputs are sharded over
+// output rows across the kernel worker pool; each output element is written
+// by exactly one worker with the same inner summation as the serial path,
+// so results are bit-identical for every worker count.
 func MatMulTransB(a, b *Matrix) *Matrix {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulTransB inner mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := newUninit(a.Rows, b.Rows)
-	for i := 0; i < a.Rows; i++ {
+	if Parallelism() <= 1 || a.Rows < 2*parThreshold {
+		matMulTransBRange(a, b, out, 0, a.Rows)
+		return out
+	}
+	parRange(a.Rows, func(lo, hi int) { matMulTransBRange(a, b, out, lo, hi) })
+	return out
+}
+
+func matMulTransBRange(a, b, out *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		arow := a.Row(i)
 		orow := out.Row(i)
 		for j := 0; j < b.Rows; j++ {
@@ -202,28 +214,52 @@ func MatMulTransB(a, b *Matrix) *Matrix {
 			orow[j] = s
 		}
 	}
-	return out
 }
 
-// MatMulTransA returns aᵀ·b.
+// MatMulTransA returns aᵀ·b. The parallel path shards over *output* rows
+// (columns of a) rather than the shared k dimension: each worker owns its
+// output rows outright and accumulates them in the same ascending-k order
+// as the serial path, keeping results bit-identical for every worker count
+// (a k-sharded reduction would reorder the floating-point sums). Narrow
+// outputs — the hidden-dim gradients dominating training — stay on the
+// serial k-outer path, which streams a and b once.
 func MatMulTransA(a, b *Matrix) *Matrix {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulTransA inner mismatch (%dx%d)ᵀ · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := New(a.Cols, b.Cols)
-	for k := 0; k < a.Rows; k++ {
-		arow := a.Row(k)
-		brow := b.Row(k)
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			orow := out.Row(i)
-			for j, bv := range brow {
-				orow[j] += av * bv
+	if Parallelism() <= 1 || a.Cols < 2*parThreshold {
+		for k := 0; k < a.Rows; k++ {
+			arow := a.Row(k)
+			brow := b.Row(k)
+			for i, av := range arow {
+				if av == 0 {
+					continue
+				}
+				orow := out.Row(i)
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
 			}
 		}
+		return out
 	}
+	parRange(a.Cols, func(lo, hi int) {
+		for k := 0; k < a.Rows; k++ {
+			arow := a.Row(k)
+			brow := b.Row(k)
+			for i := lo; i < hi; i++ {
+				av := arow[i]
+				if av == 0 {
+					continue
+				}
+				orow := out.Row(i)
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	})
 	return out
 }
 

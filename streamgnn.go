@@ -123,6 +123,33 @@ type Config struct {
 	// DisablePooling turns off the tensor buffer pool that recycles tape
 	// intermediates between training units.
 	DisablePooling bool
+
+	// IncrementalForward switches the per-step inference phase from a
+	// full-snapshot forward to dirty-region recomputation: only nodes whose
+	// L-hop neighborhood changed since the previous step are re-embedded,
+	// and their fresh rows are spliced into a cached embedding matrix. For
+	// memoryless models (WinGNN) the result is bit-identical to the full
+	// forward; recurrent models freeze the embedding and hidden state of
+	// unaffected nodes, a bounded-staleness approximation resynced by
+	// RefreshEverySteps. See DESIGN.md §10.
+	IncrementalForward bool
+	// DirtyFullThreshold is the compute-region fraction above which an
+	// incremental step falls back to a full forward (recomputing a large
+	// region via a subgraph costs more than the dense full pass). 0 means
+	// the default (0.25); values >= 1 never fall back; negative is
+	// rejected. Only meaningful with IncrementalForward.
+	DirtyFullThreshold float64
+	// RefreshEverySteps, when > 0, forces a full forward at least every
+	// this many steps in incremental mode, bounding the staleness of
+	// recurrent models' frozen rows. 0 never forces a refresh.
+	RefreshEverySteps int
+
+	// KernelWorkers sets the process-wide tensor-kernel parallelism
+	// (tensor.SetParallelism): shards of dense matmuls and SpMM run on this
+	// many goroutines with bit-identical results. 0 leaves the current
+	// process-wide setting untouched; negative means runtime.NumCPU().
+	// Distinct from Workers, which parallelizes whole training partitions.
+	KernelWorkers int
 }
 
 // DefaultConfig returns the paper's default configuration with the KDE
@@ -295,6 +322,7 @@ type Engine struct {
 
 	step        int
 	lastEmb     *tensor.Matrix
+	emb         *dgnn.EmbStore // managed embedding cache (incremental mode)
 	mkScheduler func() (*core.Scheduler, error)
 	// pending is checkpoint state that can only be applied once the
 	// scheduler exists (it is created lazily at the first Step).
@@ -341,9 +369,19 @@ func NewEngine(featDim int, cfg Config) (*Engine, error) {
 	if err := ccfg.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.DirtyFullThreshold < 0 {
+		return nil, fmt.Errorf("streamgnn: DirtyFullThreshold must be >= 0, got %g", cfg.DirtyFullThreshold)
+	}
 	// Buffer pooling is process-wide; the engine turns it on unless asked
 	// not to (metered allocation accounting is identical either way).
 	tensor.EnablePooling(!cfg.DisablePooling)
+	// Kernel parallelism is also process-wide, but 0 leaves it alone so an
+	// engine built without an opinion does not stomp a host's setting.
+	if cfg.KernelWorkers > 0 {
+		tensor.SetParallelism(cfg.KernelWorkers)
+	} else if cfg.KernelWorkers < 0 {
+		tensor.SetParallelism(runtime.NumCPU())
+	}
 	src := rng.New(cfg.Seed)
 	r := rand.New(src)
 	g := graph.NewDynamic(featDim)
@@ -354,8 +392,11 @@ func NewEngine(featDim int, cfg Config) (*Engine, error) {
 	opt := model.WrapOptimizer(autodiff.NewAdam(ccfg.LR, params))
 	trainer := core.NewTrainer(g, model, wl, opt, ccfg, r)
 	e := &Engine{cfg: cfg, ccfg: ccfg, g: g, model: model, wl: wl,
-		trainer: trainer, opt: opt, src: src}
+		trainer: trainer, opt: opt, src: src, emb: dgnn.NewEmbStore()}
 	e.tele.init()
+	if cfg.IncrementalForward {
+		g.EnableDirtyTracking()
+	}
 	if cfg.DriftDetection {
 		e.driftDet = drift.NewPageHinkley(0.05, 3)
 	}
@@ -481,11 +522,7 @@ func (e *Engine) Step() error {
 	phaseStart = time.Now()
 	updated := e.g.Updated()
 	e.model.BeginStep(t)
-	// Inference over the whole snapshot (forward propagation is on the
-	// full graph regardless of strategy — Section III-C).
-	tp := autodiff.NewTape()
-	emb := e.model.Forward(tp, dgnn.FullView(e.g))
-	e.lastEmb = emb.Value
+	e.runForward(t)
 	e.tele.phases[phaseForward].ObserveSince(phaseStart)
 
 	phaseStart = time.Now()
@@ -498,7 +535,13 @@ func (e *Engine) Step() error {
 	e.tele.phases[phasePredict].ObserveSince(phaseStart)
 
 	phaseStart = time.Now()
-	e.sched.OnStep(t, updated)
+	if e.sched.OnStep(t, updated) {
+		// Training moved the model parameters, so every cached embedding row
+		// is stale — not just the dirty region. The next forward runs full.
+		// Incremental inference therefore pays off on the steps *between*
+		// training steps (Interval > 1) and on quiet stretches of the stream.
+		e.emb.Invalidate()
+	}
 	e.tele.phases[phaseTrain].ObserveSince(phaseStart)
 
 	e.g.ResetUpdated()
@@ -506,6 +549,92 @@ func (e *Engine) Step() error {
 	e.tele.step.ObserveSince(stepStart)
 	e.tele.steps.Inc()
 	return nil
+}
+
+// defaultDirtyFullThreshold is the compute-region fraction above which an
+// incremental step falls back to a full forward when the user did not set
+// Config.DirtyFullThreshold.
+const defaultDirtyFullThreshold = 0.25
+
+func (e *Engine) dirtyFullThreshold() float64 {
+	if e.cfg.DirtyFullThreshold > 0 {
+		return e.cfg.DirtyFullThreshold
+	}
+	return defaultDirtyFullThreshold
+}
+
+// runForward computes this step's inference embeddings into e.lastEmb.
+//
+// Without IncrementalForward it is the paper's baseline: a forward over the
+// whole snapshot every step (Section III-C). With it, the engine tracks the
+// nodes whose features or incident edges changed since the last forward
+// (label writes are supervision, not forward input, and don't count),
+// expands them to the exact frontier D = Ball(dirty, L) — the nodes
+// whose embedding can differ — and forwards only the induced compute region
+// Ball(D, L), whose boundary supplies D's receptive fields. Rows of D are
+// spliced into the cached embedding matrix; every other row is reused.
+// Subgraph normalization uses global degrees and the same summation order as
+// the full pass, so for memoryless models the spliced rows are bit-identical
+// to a full forward. Recurrent models additionally freeze the hidden state
+// of untouched nodes (the DirtyView's CommitRows mask), a bounded-staleness
+// approximation; RefreshEverySteps bounds how long a row may stay frozen.
+//
+// The incremental path falls back to a full forward when the cache is
+// invalid (first step, post-restore), a refresh is due, or the compute
+// region exceeds dirtyFullThreshold of the graph.
+func (e *Engine) runForward(t int) {
+	if !e.cfg.IncrementalForward {
+		tp := autodiff.NewTape()
+		e.lastEmb = e.model.Forward(tp, dgnn.FullView(e.g)).Value
+		e.tele.fullForwards.Inc()
+		return
+	}
+
+	dirty := e.g.TakeDirty()
+	n := e.g.N()
+	full := !e.emb.Valid()
+	if !full && e.cfg.RefreshEverySteps > 0 && t-e.emb.LastFullStep() >= e.cfg.RefreshEverySteps {
+		full = true
+	}
+	if !full && len(dirty) == 0 && e.emb.Rows() == n {
+		// Quiet step: nothing changed, serve the cache as-is.
+		e.lastEmb = e.emb.Matrix()
+		e.tele.incForwards.Inc()
+		e.tele.skippedRows.Add(int64(n))
+		e.tele.dirtyFrac.Observe(0)
+		return
+	}
+
+	var exact, region []int
+	if !full {
+		L := e.model.Layers()
+		exact = e.g.Ball(dirty, L)
+		region = e.g.Ball(exact, L)
+		if len(region) == 0 || float64(len(region)) > e.dirtyFullThreshold()*float64(n) {
+			full = true
+		}
+	}
+	if full {
+		// The forward's output matrix is owned by the store from here on:
+		// inference tapes are never released, so its buffer is not pooled.
+		tp := autodiff.NewTape()
+		out := e.model.Forward(tp, dgnn.FullView(e.g)).Value
+		e.emb.SetFull(out, t)
+		e.lastEmb = out
+		e.tele.fullForwards.Inc()
+		e.tele.dirtyFrac.Observe(1)
+		return
+	}
+
+	sub := e.g.Induced(region, region[0])
+	rows := dgnn.LocalRows(sub.Nodes, exact)
+	tp := autodiff.NewTape()
+	out := e.model.Forward(tp, dgnn.DirtyView(sub, rows)).Value
+	e.emb.Splice(out, rows, exact)
+	e.lastEmb = e.emb.Matrix()
+	e.tele.incForwards.Inc()
+	e.tele.skippedRows.Add(int64(n - len(region)))
+	e.tele.dirtyFrac.Observe(float64(len(region)) / float64(n))
 }
 
 // applyPendingRestore pushes checkpoint state stashed by LoadCheckpoint into

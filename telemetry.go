@@ -37,6 +37,15 @@ type engineTelemetry struct {
 	steps  obs.Counter
 	step   *obs.Histogram
 	phases [numPhases]*obs.Histogram
+
+	// Forward-mode instruments: how many steps ran a full-snapshot forward
+	// vs. a dirty-region incremental one, how many embedding rows the
+	// incremental path avoided recomputing, and the distribution of the
+	// dirty (compute-region) fraction per incremental-mode step.
+	fullForwards obs.Counter
+	incForwards  obs.Counter
+	skippedRows  obs.Counter
+	dirtyFrac    *obs.Histogram
 }
 
 func (t *engineTelemetry) init() {
@@ -44,6 +53,7 @@ func (t *engineTelemetry) init() {
 	for i := range t.phases {
 		t.phases[i] = obs.NewHistogram(obs.DefaultLatencyBuckets())
 	}
+	t.dirtyFrac = obs.NewHistogram(obs.FractionBuckets())
 }
 
 // TelemetryHistogram is a latency distribution snapshot: per-bucket counts
@@ -78,15 +88,33 @@ type Telemetry struct {
 	Step TelemetryHistogram
 	// Phases maps each StepPhases() name to its latency distribution.
 	Phases map[string]TelemetryHistogram
+
+	// FullForwards counts steps whose inference recomputed the whole
+	// snapshot; IncrementalForwards counts steps served by the dirty-region
+	// path (including quiet-step cache reuse). Without IncrementalForward
+	// every step is a full forward.
+	FullForwards        int64
+	IncrementalForwards int64
+	// SkippedRows totals the embedding rows incremental steps did not
+	// recompute (graph size minus compute-region size, summed over steps).
+	SkippedRows int64
+	// DirtyFraction is the per-step distribution of |compute region| / |V|
+	// in incremental mode: 0 for quiet steps, 1 for fallback full forwards.
+	// Empty unless Config.IncrementalForward is set.
+	DirtyFraction TelemetryHistogram
 }
 
 // Telemetry returns a snapshot of the engine's step and phase timings. Safe
 // to call concurrently with Step.
 func (e *Engine) Telemetry() Telemetry {
 	t := Telemetry{
-		Steps:  e.tele.steps.Value(),
-		Step:   histSnapshot(e.tele.step),
-		Phases: make(map[string]TelemetryHistogram, numPhases),
+		Steps:               e.tele.steps.Value(),
+		Step:                histSnapshot(e.tele.step),
+		Phases:              make(map[string]TelemetryHistogram, numPhases),
+		FullForwards:        e.tele.fullForwards.Value(),
+		IncrementalForwards: e.tele.incForwards.Value(),
+		SkippedRows:         e.tele.skippedRows.Value(),
+		DirtyFraction:       histSnapshot(e.tele.dirtyFrac),
 	}
 	for i, name := range StepPhases() {
 		t.Phases[name] = histSnapshot(e.tele.phases[i])
