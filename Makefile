@@ -1,0 +1,29 @@
+# Convenience targets; everything is plain go tooling underneath.
+
+GO ?= go
+
+.PHONY: build test race lint fmt bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# lint mirrors the CI lint job: formatting, go vet, and the repository's own
+# invariant checker (tools/streamlint — determinism, pool safety, checkpoint
+# completeness, atomic alignment).
+lint:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) run ./tools/streamlint ./...
+
+fmt:
+	gofmt -w .
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

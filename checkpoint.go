@@ -19,8 +19,16 @@ import (
 // shutdown + resume reproduce the uninterrupted run. Version 3 added the
 // incremental-forward embedding cache (Emb/EmbLastFull), so a resumed
 // incremental run splices into the same matrix instead of starting with a
-// forced full forward.
-const checkpointVersion = 3
+// forced full forward. Version 4 extended the optimizer state with WinGNN's
+// gradient-aggregation window (nested inner state, window RNG position,
+// gradient history) — new fields on the gob-encoded OptState, so v3
+// checkpoints still decode; checkpointVersionMin marks the oldest readable
+// format. A v3 WinGNN checkpoint simply carries no optimizer state (the old
+// winOptimizer was not Stateful) and resumes with an empty window.
+const (
+	checkpointVersion    = 4
+	checkpointVersionMin = 3
+)
 
 // checkpoint is the gob-encoded engine state: everything *learned* — model
 // and head parameters, recurrent state, the chip distribution — plus the
@@ -155,8 +163,8 @@ func (e *Engine) LoadCheckpoint(r io.Reader) error {
 	if err := gob.NewDecoder(r).Decode(&ck); err != nil {
 		return fmt.Errorf("streamgnn: decoding checkpoint: %w", err)
 	}
-	if ck.Version != checkpointVersion {
-		return fmt.Errorf("streamgnn: checkpoint version %d, want %d", ck.Version, checkpointVersion)
+	if ck.Version < checkpointVersionMin || ck.Version > checkpointVersion {
+		return fmt.Errorf("streamgnn: checkpoint version %d, want %d..%d", ck.Version, checkpointVersionMin, checkpointVersion)
 	}
 	if ck.Model != e.cfg.Model || ck.Strategy != e.cfg.Strategy || ck.Hidden != e.cfg.Hidden {
 		return fmt.Errorf("streamgnn: checkpoint is for %s/%s/h=%d, engine is %s/%s/h=%d",

@@ -230,10 +230,32 @@ func TestCheckpointResumeEqualityIncremental(t *testing.T) {
 	resumeEquality(t, cfg)
 }
 
-// (No WinGNN variant: WinGNN resume equality fails with or without
-// incremental mode because winOptimizer's gradient-window history and rng
-// are not part of the checkpoint — a pre-existing gap unrelated to the
-// embedding cache.)
+// WinGNN resume equality: the winOptimizer's gradient-window history and
+// random stream ride along in the checkpoint's optimizer state (v4), so a
+// resumed WinGNN run must match the uninterrupted one bit for bit — the
+// randomized suffix draws continue the exact same stream and the window
+// contents are identical. This used to be a documented gap; it is now a
+// hard-equality requirement.
+func TestCheckpointResumeEqualityWinGNN(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Model = "WinGNN"
+	cfg.Strategy = StrategyWeighted
+	cfg.Hidden = 6
+	resumeEquality(t, cfg)
+}
+
+// The same requirement holds on the incremental forward path (WinGNN is
+// memoryless, so incremental inference is exact for it).
+func TestCheckpointResumeEqualityWinGNNIncremental(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Model = "WinGNN"
+	cfg.Strategy = StrategyWeighted
+	cfg.Hidden = 6
+	cfg.Interval = 3
+	cfg.IncrementalForward = true
+	cfg.DirtyFullThreshold = 1
+	resumeEquality(t, cfg)
+}
 
 func TestPeekCheckpoint(t *testing.T) {
 	cfg := DefaultConfig()

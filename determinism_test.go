@@ -1,0 +1,54 @@
+package streamgnn
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRepeatRunBitEquality200 runs the same seeded 200-step stream twice in
+// fresh engines and requires the runs to be bit-identical: outcomes, metrics,
+// stats and every node embedding. This is the invariant the detorder analyzer
+// exists to protect — any map-iteration order, global-rand draw or wall-clock
+// read leaking into the computation shows up here as a one-in-a-few-runs
+// flake, so the stream is long enough (200 steps) to make order leaks
+// overwhelmingly likely to surface. KDE strategy exercises the kde, sampling
+// and graph packages on top of the core training path.
+func TestRepeatRunBitEquality200(t *testing.T) {
+	run := func() *Engine {
+		cfg := DefaultConfig()
+		cfg.Strategy = StrategyKDE
+		cfg.Hidden = 6
+		cfg.PairsPerStep = 2
+		return endToEnd(t, cfg, 200)
+	}
+	e1, e2 := run(), run()
+
+	o1, o2 := e1.Outcomes(), e2.Outcomes()
+	if len(o1) == 0 || len(o1) != len(o2) {
+		t.Fatalf("outcome counts %d vs %d", len(o1), len(o2))
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("outcome %d diverged: %+v vs %+v", i, o1[i], o2[i])
+		}
+	}
+	// NaN-safe comparison via formatting (AUC is NaN when one class is
+	// absent, and NaN != NaN).
+	if m1, m2 := e1.Metrics(), e2.Metrics(); fmt.Sprintf("%+v", m1) != fmt.Sprintf("%+v", m2) {
+		t.Fatalf("metrics diverged:\n  run 1: %+v\n  run 2: %+v", m1, m2)
+	}
+	if s1, s2 := e1.Stats(), e2.Stats(); fmt.Sprintf("%+v", s1) != fmt.Sprintf("%+v", s2) {
+		t.Fatalf("stats diverged:\n  run 1: %+v\n  run 2: %+v", s1, s2)
+	}
+	for v := 0; v < e1.NumNodes(); v++ {
+		b1, b2 := e1.Embedding(v), e2.Embedding(v)
+		if len(b1) != len(b2) {
+			t.Fatalf("embedding dims of node %d differ: %d vs %d", v, len(b1), len(b2))
+		}
+		for j := range b1 {
+			if b1[j] != b2[j] {
+				t.Fatalf("embedding of node %d diverged at %d: %v vs %v", v, j, b1[j], b2[j])
+			}
+		}
+	}
+}

@@ -21,9 +21,12 @@ type Optimizer interface {
 
 // SGD is plain stochastic gradient descent with optional gradient clipping.
 type SGD struct {
-	LR       float64
-	ClipNorm float64 // 0 disables clipping
-	params   []*Node
+	//streamlint:ckpt-exempt learning rate is configuration, rebuilt from Config on resume
+	LR float64
+	//streamlint:ckpt-exempt clip threshold is configuration (0 disables clipping)
+	ClipNorm float64
+	//streamlint:ckpt-exempt parameter wiring, re-established at engine construction
+	params []*Node
 }
 
 // NewSGD returns an SGD optimizer over params.
@@ -52,11 +55,16 @@ func (o *SGD) Step() {
 // Adam implements the Adam optimizer (Kingma & Ba) with bias correction and
 // optional global-norm gradient clipping.
 type Adam struct {
-	LR       float64
-	Beta1    float64
-	Beta2    float64
-	Eps      float64
-	ClipNorm float64 // 0 disables clipping
+	//streamlint:ckpt-exempt learning rate is configuration, rebuilt from Config on resume
+	LR float64
+	//streamlint:ckpt-exempt decay rate is configuration, rebuilt from Config on resume
+	Beta1 float64
+	//streamlint:ckpt-exempt decay rate is configuration, rebuilt from Config on resume
+	Beta2 float64
+	//streamlint:ckpt-exempt numerical epsilon is configuration, rebuilt from Config on resume
+	Eps float64
+	//streamlint:ckpt-exempt clip threshold is configuration (0 disables clipping)
+	ClipNorm float64
 	params   []*Node
 	m, v     []*tensor.Matrix
 	step     int
@@ -106,17 +114,27 @@ func (o *Adam) Step() {
 // OptState is a checkpointable snapshot of an optimizer's internal state:
 // the step counter and any per-parameter moment buffers (flattened, in
 // parameter order). SGD has no moments; Adam has two per parameter.
+// Decorating optimizers use the remaining fields: Inner nests the wrapped
+// optimizer's state, RNG/HasRNG carry a private random stream's position,
+// and History holds a window of per-parameter gradient snapshots (an empty
+// inner slice marks a parameter whose gradient was nil at snapshot time).
+// All fields are gob-encoded by name, so states saved before a field existed
+// still decode (the new fields read back as zero values).
 type OptState struct {
 	Step    int
 	Moments [][]float64
+	Inner   *OptState
+	RNG     uint64
+	HasRNG  bool
+	History [][][]float64
 }
 
 // Stateful is implemented by optimizers whose internal state can be dumped
 // and restored across a checkpoint/resume cycle. Restoring the moments makes
 // post-resume parameter updates bit-identical to an uninterrupted run, which
-// checkpoint resume tests rely on. Wrapped optimizers that keep extra state
-// of their own (e.g. WinGNN's gradient-aggregation window) may choose not to
-// implement it, in which case resume is approximate.
+// checkpoint resume tests rely on. Decorating optimizers that keep extra
+// state of their own (e.g. WinGNN's gradient-aggregation window) implement
+// it by nesting the wrapped optimizer's state in OptState.Inner.
 type Stateful interface {
 	// DumpState captures the optimizer's internal state.
 	DumpState() OptState

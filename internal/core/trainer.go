@@ -21,6 +21,13 @@ import (
 // utility* of the unit: the training loss measured before backpropagation
 // (the sample-hardness utility of Section IV-A).
 type Trainer struct {
+	// Stats counts training material consumed (observability). It leads the
+	// struct so its int64 counters sit at 8-byte offsets even under 32-bit
+	// layout rules: sync/atomic's 64-bit operations fault on 386/arm when the
+	// word is not 8-byte aligned, and only the start of an allocation is
+	// guaranteed to be.
+	Stats TrainerStats
+
 	Model    dgnn.Model
 	Workload *query.Workload
 	Opt      autodiff.Optimizer
@@ -38,9 +45,6 @@ type Trainer struct {
 	BallSupervision bool
 
 	rng *rand.Rand
-
-	// Stats counts training material consumed (observability).
-	Stats TrainerStats
 }
 
 // TrainerStats counts the training targets consumed so far. Fields are

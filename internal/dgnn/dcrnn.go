@@ -11,10 +11,13 @@ import (
 // bidirectional diffusion convolutions over the forward and reverse
 // random-walk transition matrices. K == 2, so Layers() == 2.
 type DCRNNModel struct {
-	cell   *nn.ConvGRUCell
+	//streamlint:ckpt-exempt trainable parameters, serialized through Params() by the engine checkpoint
+	cell *nn.ConvGRUCell
+	//streamlint:ckpt-exempt architecture configuration, validated against the checkpoint header
 	hidden int
-	k      int
-	state  *nodeState
+	//streamlint:ckpt-exempt diffusion order is construction-time configuration
+	k     int
+	state *nodeState
 }
 
 // NewDCRNN returns a DCRNN with diffusion order 2.

@@ -6,6 +6,7 @@ import (
 
 	"streamgnn/internal/autodiff"
 	"streamgnn/internal/graph"
+	srng "streamgnn/internal/rng"
 	"streamgnn/internal/tensor"
 )
 
@@ -245,7 +246,7 @@ func TestWinOptimizerAveragesGradients(t *testing.T) {
 	p := autodiff.Param(tensor.FromSlice(1, 1, []float64{0}))
 	inner := autodiff.NewSGD(1, []*autodiff.Node{p})
 	inner.ClipNorm = 0
-	w := &winOptimizer{inner: inner, window: 4, rng: rand.New(rand.NewSource(1))}
+	w := &winOptimizer{inner: inner, window: 4, src: srng.New(1)}
 	// Feed constant gradient 2: any suffix average is 2, so each step moves
 	// the param by exactly -2.
 	for i := 1; i <= 3; i++ {

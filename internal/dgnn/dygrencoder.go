@@ -11,12 +11,16 @@ import (
 // encoder producing per-snapshot node embeddings, an LSTM carrying each
 // node's embedding sequence through time, and a linear decoder.
 type DyGrEncoderModel struct {
+	//streamlint:ckpt-exempt trainable parameters, serialized through Params() by the engine checkpoint
 	enc1, enc2 *nn.GCNConv
-	lstm       *nn.LSTMCell
-	dec        *nn.Linear
-	hidden     int
-	hState     *nodeState
-	cState     *nodeState
+	//streamlint:ckpt-exempt trainable parameters, serialized through Params() by the engine checkpoint
+	lstm *nn.LSTMCell
+	//streamlint:ckpt-exempt trainable parameters, serialized through Params() by the engine checkpoint
+	dec *nn.Linear
+	//streamlint:ckpt-exempt architecture configuration, validated against the checkpoint header
+	hidden int
+	hState *nodeState
+	cState *nodeState
 }
 
 // NewDyGrEncoder returns a DyGrEncoder with the given dimensions.

@@ -17,9 +17,12 @@ import (
 // weights, and the first Forward of a step captures the evolved value as the
 // next step's starting point.
 type EvolveGCNModel struct {
-	layers   []*evolveLayer
-	hidden   int
-	curStep  int
+	layers []*evolveLayer
+	//streamlint:ckpt-exempt architecture configuration, validated against the checkpoint header
+	hidden int
+	//streamlint:ckpt-exempt step bookkeeping, re-established by BeginStep on the first resumed step
+	curStep int
+	//streamlint:ckpt-exempt step bookkeeping, re-established by BeginStep on the first resumed step
 	haveStep bool
 }
 

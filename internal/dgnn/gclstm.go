@@ -10,8 +10,11 @@ import (
 // GCLSTMModel is GC-LSTM (Chen et al.): an LSTM whose gate transforms are
 // graph convolutions, preceded by a GCN encoder layer (Layers() == 2).
 type GCLSTMModel struct {
-	enc    *nn.GCNConv
-	cell   *nn.ConvLSTMCell
+	//streamlint:ckpt-exempt trainable parameters, serialized through Params() by the engine checkpoint
+	enc *nn.GCNConv
+	//streamlint:ckpt-exempt trainable parameters, serialized through Params() by the engine checkpoint
+	cell *nn.ConvLSTMCell
+	//streamlint:ckpt-exempt architecture configuration, validated against the checkpoint header
 	hidden int
 	hState *nodeState
 	cState *nodeState

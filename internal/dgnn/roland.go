@@ -12,10 +12,13 @@ import (
 // convolution output with a GRU-style embedding-update module, trained in
 // the live-update regime (truncated BPTT, window 1).
 type ROLANDModel struct {
+	//streamlint:ckpt-exempt trainable parameters, serialized through Params() by the engine checkpoint
 	conv1, conv2 *nn.GCNConv
-	upd1, upd2   *nn.GRUCell
-	hidden       int
-	h1, h2       *nodeState
+	//streamlint:ckpt-exempt trainable parameters, serialized through Params() by the engine checkpoint
+	upd1, upd2 *nn.GRUCell
+	//streamlint:ckpt-exempt architecture configuration, validated against the checkpoint header
+	hidden int
+	h1, h2 *nodeState
 }
 
 // NewROLAND returns a two-layer ROLAND with GRU embedding updates.

@@ -18,9 +18,13 @@ const DefaultRelations = 4
 // prescriptions and procedure relations should not share a weight matrix).
 // It is not one of the paper's seven evaluated baselines.
 type RTGCNModel struct {
-	enc       *nn.RGCNConv
-	cell      *nn.ConvGRUCell
-	hidden    int
+	//streamlint:ckpt-exempt trainable parameters, serialized through Params() by the engine checkpoint
+	enc *nn.RGCNConv
+	//streamlint:ckpt-exempt trainable parameters, serialized through Params() by the engine checkpoint
+	cell *nn.ConvGRUCell
+	//streamlint:ckpt-exempt architecture configuration, validated against the checkpoint header
+	hidden int
+	//streamlint:ckpt-exempt edge-type count is construction-time configuration
 	relations int
 	state     *nodeState
 }

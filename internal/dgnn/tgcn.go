@@ -11,8 +11,11 @@ import (
 // convolutions. We use one GCN encoder layer followed by a graph-gated GRU,
 // giving a 2-hop receptive field per step (Layers() == 2).
 type TGCNModel struct {
-	enc    *nn.GCNConv
-	cell   *nn.ConvGRUCell
+	//streamlint:ckpt-exempt trainable parameters, serialized through Params() by the engine checkpoint
+	enc *nn.GCNConv
+	//streamlint:ckpt-exempt trainable parameters, serialized through Params() by the engine checkpoint
+	cell *nn.ConvGRUCell
+	//streamlint:ckpt-exempt architecture configuration, validated against the checkpoint header
 	hidden int
 	state  *nodeState
 }

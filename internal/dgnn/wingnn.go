@@ -1,10 +1,12 @@
 package dgnn
 
 import (
+	"fmt"
 	"math/rand"
 
 	"streamgnn/internal/autodiff"
 	"streamgnn/internal/nn"
+	srng "streamgnn/internal/rng"
 	"streamgnn/internal/tensor"
 )
 
@@ -15,22 +17,27 @@ import (
 // the mean of a random-length suffix of recently observed gradients instead
 // of only the newest one (random gradient-aggregation window).
 type WinGNNModel struct {
+	//streamlint:ckpt-exempt trainable parameters, serialized through Params() by the engine checkpoint
 	conv1, conv2 *nn.GCNConv
-	skip         *nn.Linear
-	hidden       int
-	window       int
-	rng          *rand.Rand
+	//streamlint:ckpt-exempt trainable parameters, serialized through Params() by the engine checkpoint
+	skip *nn.Linear
+	//streamlint:ckpt-exempt architecture configuration, validated against the checkpoint header
+	hidden int
+	//streamlint:ckpt-exempt window size is configuration; the window CONTENTS checkpoint via winOptimizer's optimizer state
+	window int
+	//streamlint:ckpt-exempt derived from the construction seed; the live stream position checkpoints via winOptimizer's optimizer state
+	optSeed int64
 }
 
 // NewWinGNN returns a WinGNN with gradient window 8.
 func NewWinGNN(rng *rand.Rand, featDim, hidden int) *WinGNNModel {
 	return &WinGNNModel{
-		conv1:  nn.NewGCNConv(rng, featDim, hidden),
-		conv2:  nn.NewGCNConv(rng, hidden, hidden),
-		skip:   nn.NewLinear(rng, featDim, hidden),
-		hidden: hidden,
-		window: 8,
-		rng:    rand.New(rand.NewSource(rng.Int63())),
+		conv1:   nn.NewGCNConv(rng, featDim, hidden),
+		conv2:   nn.NewGCNConv(rng, hidden, hidden),
+		skip:    nn.NewLinear(rng, featDim, hidden),
+		hidden:  hidden,
+		window:  8,
+		optSeed: rng.Int63(),
 	}
 }
 
@@ -60,9 +67,11 @@ func (m *WinGNNModel) Memoryless() bool { return true }
 func (m *WinGNNModel) Reset() {}
 
 // WrapOptimizer implements Model: wraps opt in the random
-// gradient-aggregation window.
+// gradient-aggregation window. The window draws from a private SplitMix64
+// stream seeded at model construction, so its whole position is one word
+// that the optimizer state dumps and restores across checkpoints.
 func (m *WinGNNModel) WrapOptimizer(opt autodiff.Optimizer) autodiff.Optimizer {
-	return &winOptimizer{inner: opt, window: m.window, rng: m.rng}
+	return &winOptimizer{inner: opt, window: m.window, src: srng.New(m.optSeed)}
 }
 
 // Forward implements Model.
@@ -76,11 +85,14 @@ func (m *WinGNNModel) Forward(tp *autodiff.Tape, v View) *autodiff.Node {
 // winOptimizer implements WinGNN's random gradient-aggregation window: it
 // remembers the last `window` gradient snapshots and, on each Step, replaces
 // the live gradient with the mean of a uniformly random-length suffix of the
-// history before delegating to the wrapped optimizer.
+// history before delegating to the wrapped optimizer. It is fully Stateful:
+// the gradient history, the random stream position and the wrapped
+// optimizer's own state all round-trip through DumpState/RestoreState, which
+// is what makes a WinGNN resume bit-identical to the uninterrupted run.
 type winOptimizer struct {
 	inner   autodiff.Optimizer
 	window  int
-	rng     *rand.Rand
+	src     *srng.SplitMix64
 	history [][]*tensor.Matrix
 }
 
@@ -104,7 +116,7 @@ func (w *winOptimizer) Step() {
 	if len(w.history) > w.window {
 		w.history = w.history[1:]
 	}
-	n := 1 + w.rng.Intn(len(w.history))
+	n := 1 + w.intn(len(w.history))
 	suffix := w.history[len(w.history)-n:]
 	// Replace live gradients with the suffix mean.
 	for i, p := range params {
@@ -119,4 +131,74 @@ func (w *winOptimizer) Step() {
 		}
 	}
 	w.inner.Step()
+}
+
+// intn draws uniformly from [0, n) off the private stream. The window is
+// tiny (≤8), so plain modulo reduction's bias is far below anything the
+// gradient averaging could notice.
+func (w *winOptimizer) intn(n int) int {
+	return int(w.src.Uint64() % uint64(n))
+}
+
+// DumpState implements autodiff.Stateful: the wrapped optimizer's state
+// nests under Inner, the window's random stream position under RNG, and the
+// gradient history (flattened, parameter order; empty slice = nil gradient)
+// under History.
+func (w *winOptimizer) DumpState() autodiff.OptState {
+	st := autodiff.OptState{RNG: w.src.State(), HasRNG: true}
+	if s, ok := w.inner.(autodiff.Stateful); ok {
+		inner := s.DumpState()
+		st.Inner = &inner
+	}
+	for _, snap := range w.history {
+		row := make([][]float64, len(snap))
+		for i, g := range snap {
+			if g != nil {
+				row[i] = append([]float64(nil), g.Data...)
+			}
+		}
+		st.History = append(st.History, row)
+	}
+	return st
+}
+
+// RestoreState implements autodiff.Stateful. All validations that can fail
+// come before any mutation, so a rejected state leaves the optimizer intact.
+func (w *winOptimizer) RestoreState(st autodiff.OptState) error {
+	if len(st.History) > w.window {
+		return fmt.Errorf("dgnn: WinGNN state has %d gradient snapshots, window is %d", len(st.History), w.window)
+	}
+	params := w.inner.Params()
+	history := make([][]*tensor.Matrix, 0, len(st.History))
+	for k, row := range st.History {
+		if len(row) != len(params) {
+			return fmt.Errorf("dgnn: WinGNN gradient snapshot %d covers %d params, optimizer has %d", k, len(row), len(params))
+		}
+		snap := make([]*tensor.Matrix, len(params))
+		for i, data := range row {
+			if len(data) == 0 {
+				continue // parameter had a nil gradient at snapshot time
+			}
+			if len(data) != len(params[i].Value.Data) {
+				return fmt.Errorf("dgnn: WinGNN gradient snapshot %d param %d has %d values, want %d", k, i, len(data), len(params[i].Value.Data))
+			}
+			g := tensor.New(params[i].Value.Rows, params[i].Value.Cols)
+			copy(g.Data, data)
+			snap[i] = g
+		}
+		history = append(history, snap)
+	}
+	if s, ok := w.inner.(autodiff.Stateful); ok {
+		if st.Inner == nil {
+			return fmt.Errorf("dgnn: WinGNN state carries no inner optimizer state")
+		}
+		if err := s.RestoreState(*st.Inner); err != nil {
+			return err
+		}
+	}
+	w.history = history
+	if st.HasRNG {
+		w.src.SetState(st.RNG)
+	}
+	return nil
 }

@@ -26,10 +26,13 @@ type Detector interface {
 // exceeds threshold lambda.
 type PageHinkley struct {
 	// Delta is the tolerated deviation magnitude (absorbs noise).
+	//streamlint:ckpt-exempt detection tuning is configuration, rebuilt from Config on resume
 	Delta float64
 	// Lambda is the detection threshold on the cumulative statistic.
+	//streamlint:ckpt-exempt detection tuning is configuration, rebuilt from Config on resume
 	Lambda float64
 	// MinSamples is the warm-up length before detection can fire.
+	//streamlint:ckpt-exempt detection tuning is configuration, rebuilt from Config on resume
 	MinSamples int
 
 	n    int

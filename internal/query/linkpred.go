@@ -24,13 +24,17 @@ type Pair struct {
 type LinkPredTask struct {
 	// NegPerPos is the number of sampled negatives per positive used for
 	// accuracy/AUC and for supervision pairs.
+	//streamlint:ckpt-exempt evaluation tuning is configuration, set at task construction
 	NegPerPos int
 	// RankNegs is the candidate-set size for MRR ranks.
+	//streamlint:ckpt-exempt evaluation tuning is configuration, set at task construction
 	RankNegs int
 	// MaxPositives caps the positives evaluated per step.
+	//streamlint:ckpt-exempt evaluation tuning is configuration, set at task construction
 	MaxPositives int
 
-	src      *rng.SplitMix64 // dumpable source behind rng (checkpointing)
+	src *rng.SplitMix64 // dumpable source behind rng (checkpointing)
+	//streamlint:ckpt-exempt stateless wrapper around src, whose word IS the stream state
 	rng      *rand.Rand
 	lastEmb  *tensor.Matrix
 	lastStep int

@@ -116,6 +116,7 @@ type Alert struct {
 // arrives, accumulates evaluation outcomes, and exposes revealed targets as
 // supervision for node-partition training.
 type Workload struct {
+	//streamlint:ckpt-exempt head parameters are serialized through Params() by the engine checkpoint
 	heads   *Heads
 	queries []*EventQuery
 	link    *LinkPredTask

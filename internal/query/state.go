@@ -2,6 +2,7 @@ package query
 
 import (
 	"fmt"
+	"sort"
 
 	"streamgnn/internal/tensor"
 )
@@ -68,8 +69,16 @@ func (w *Workload) DumpState() WorkloadState {
 	for _, ex := range w.replay {
 		st.Replay = append(st.Replay, ReplayExample{Emb: append([]float64(nil), ex.emb...), Truth: ex.truth})
 	}
-	for due, preds := range w.pending {
-		for _, p := range preds {
+	// Walk due steps in sorted order so the checkpoint bytes do not depend
+	// on map iteration order (checkpoints of identical runs must be
+	// bit-identical).
+	dues := make([]int, 0, len(w.pending))
+	for due := range w.pending {
+		dues = append(dues, due)
+	}
+	sort.Ints(dues)
+	for _, due := range dues {
+		for _, p := range w.pending[due] {
 			st.Pending = append(st.Pending, PendingPrediction{
 				Query: p.q.Name, Anchor: p.anchor, Due: due, Score: p.score,
 				Emb: append([]float64(nil), p.emb...),

@@ -1,0 +1,146 @@
+// Package analysis is a dependency-free miniature of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer holds a check, a
+// Pass hands it one type-checked package, and diagnostics flow back through
+// Pass.Reportf. The repository cannot vendor x/tools (builds must work
+// offline), so streamlint carries this ~150-line substitute instead; the
+// analyzer source is written so that a later migration to the real
+// go/analysis API is a mechanical rename.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one streamlint check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the command line.
+	Name string
+	// Doc is the one-paragraph description printed by -help.
+	Doc string
+	// Run applies the check to one package.
+	Run func(*Pass) error
+}
+
+// Pass provides one analyzer with one type-checked package and a sink for
+// its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report receives each diagnostic as it is found.
+	Report func(Diagnostic)
+
+	// directives is the lazily built per-file index of streamlint comment
+	// directives, keyed by file name then line number.
+	directives map[string]map[int][]directive
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// directive is one parsed //streamlint:<name> <justification> comment.
+type directive struct {
+	name   string
+	reason string
+}
+
+// DirectivePrefix is the comment marker shared by every escape hatch.
+const DirectivePrefix = "//streamlint:"
+
+// Directive reports whether a `//streamlint:<name> <justification>` comment
+// with a non-empty justification is attached to the line of pos or to the
+// line immediately above it. A directive without a justification never
+// suppresses anything: the invariant may only be waived for a stated reason.
+func (p *Pass) Directive(pos token.Pos, name string) bool {
+	if p.directives == nil {
+		p.directives = make(map[string]map[int][]directive)
+		for _, f := range p.Files {
+			position := p.Fset.Position(f.Pos())
+			byLine := make(map[int][]directive)
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					d, ok := parseDirective(c.Text)
+					if !ok {
+						continue
+					}
+					byLine[p.Fset.Position(c.Pos()).Line] = append(byLine[p.Fset.Position(c.Pos()).Line], d)
+				}
+			}
+			p.directives[position.Filename] = byLine
+		}
+	}
+	at := p.Fset.Position(pos)
+	byLine := p.directives[at.Filename]
+	for _, line := range []int{at.Line, at.Line - 1} {
+		for _, d := range byLine[line] {
+			if d.name == name && d.reason != "" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func parseDirective(text string) (directive, bool) {
+	if !strings.HasPrefix(text, DirectivePrefix) {
+		return directive{}, false
+	}
+	rest := strings.TrimPrefix(text, DirectivePrefix)
+	name, reason, _ := strings.Cut(rest, " ")
+	return directive{name: name, reason: strings.TrimSpace(reason)}, name != ""
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// IsTestFile reports whether pos lies in a _test.go file.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// CalleeFunc resolves the *types.Func a call expression invokes (package
+// function or method), or nil for indirect calls, conversions and builtins.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// PkgPathOf returns the import path of fn's package ("" for builtins).
+func PkgPathOf(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}

@@ -1,0 +1,161 @@
+// Package ckptstate enforces the checkpoint completeness invariant: every
+// type wired into checkpoint encode/decode must account for all of its
+// fields, so that no runtime state silently survives outside the checkpoint
+// (the WinGNN gap — a gradient-window history and private RNG that resume
+// could not restore — is exactly this class of bug).
+//
+// A type is "checkpointable" when it declares both a dump-side method (one
+// of DumpState, State, Dump, dumpState, dump) and a restore-side method
+// (RestoreState, Restore, SetState, restoreState, restore). For each such
+// struct type, every field must either be referenced in at least one of the
+// two method bodies (serialized or restored through the receiver) or carry
+// an explicit `//streamlint:ckpt-exempt <justification>` on its declaration
+// line or the line above — typically because the field is configuration, a
+// trainable parameter serialized through Params(), or state re-derived on
+// resume.
+package ckptstate
+
+import (
+	"go/ast"
+	"go/types"
+
+	"streamgnn/tools/streamlint/internal/analysis"
+)
+
+// Analyzer is the ckptstate check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ckptstate",
+	Doc:  "verifies every field of checkpointable types is serialized or explicitly exempted",
+	Run:  run,
+}
+
+const directive = "ckpt-exempt"
+
+var dumpNames = map[string]bool{"DumpState": true, "State": true, "Dump": true, "dumpState": true, "dump": true}
+var restoreNames = map[string]bool{"RestoreState": true, "Restore": true, "SetState": true, "restoreState": true, "restore": true}
+
+// typeMethods collects the dump/restore FuncDecls declared on one named type.
+type typeMethods struct {
+	dump, restore []*ast.FuncDecl
+}
+
+func run(pass *analysis.Pass) error {
+	methods := make(map[*types.TypeName]*typeMethods)
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			isDump, isRestore := dumpNames[fd.Name.Name], restoreNames[fd.Name.Name]
+			if !isDump && !isRestore {
+				continue
+			}
+			tn := receiverTypeName(pass, fd)
+			if tn == nil {
+				continue
+			}
+			m := methods[tn]
+			if m == nil {
+				m = &typeMethods{}
+				methods[tn] = m
+			}
+			if isDump {
+				m.dump = append(m.dump, fd)
+			}
+			if isRestore {
+				m.restore = append(m.restore, fd)
+			}
+		}
+	}
+	for tn, m := range methods {
+		if len(m.dump) == 0 || len(m.restore) == 0 {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		referenced := make(map[*types.Var]bool)
+		for _, fd := range append(append([]*ast.FuncDecl(nil), m.dump...), m.restore...) {
+			collectFieldRefs(pass, fd, st, referenced)
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			field := st.Field(i)
+			if referenced[field] {
+				continue
+			}
+			if pass.Directive(field.Pos(), directive) {
+				continue
+			}
+			pass.Reportf(field.Pos(), "field %s of checkpointable type %s is neither dumped nor restored by its %s/%s methods; serialize it or justify with %s%s", field.Name(), tn.Name(), m.dump[0].Name.Name, m.restore[0].Name.Name, analysis.DirectivePrefix, directive)
+		}
+	}
+	return nil
+}
+
+// receiverTypeName resolves the named type a method is declared on.
+func receiverTypeName(pass *analysis.Pass, fd *ast.FuncDecl) *types.TypeName {
+	if len(fd.Recv.List) != 1 {
+		return nil
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	// Strip instantiation for generic receivers.
+	if idx, ok := t.(*ast.IndexExpr); ok {
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	tn, _ := pass.TypesInfo.Uses[id].(*types.TypeName)
+	if tn == nil {
+		tn, _ = pass.TypesInfo.Defs[id].(*types.TypeName)
+	}
+	return tn
+}
+
+// collectFieldRefs marks every field of st selected anywhere in fd's body.
+func collectFieldRefs(pass *analysis.Pass, fd *ast.FuncDecl, st *types.Struct, out map[*types.Var]bool) {
+	fields := make(map[*types.Var]bool, st.NumFields())
+	for i := 0; i < st.NumFields(); i++ {
+		fields[st.Field(i)] = true
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s := pass.TypesInfo.Selections[sel]
+		if s == nil || s.Kind() != types.FieldVal {
+			return true
+		}
+		// Walk the whole selection path: x.a.b marks both a and b.
+		t := s.Recv()
+		for _, idx := range s.Index() {
+			cur, ok := deref(t).Underlying().(*types.Struct)
+			if !ok {
+				break
+			}
+			f := cur.Field(idx)
+			if fields[f] {
+				out[f] = true
+			}
+			t = f.Type()
+		}
+		return true
+	})
+}
+
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}

@@ -1,0 +1,310 @@
+// Package poolsafe enforces the tensor buffer-pool safety invariant:
+// a matrix handed back to the pool with tensor.Recycle, and every tape node
+// recycled by autodiff's Tape.Release, must not be touched again.
+//
+// The analysis is intraprocedural and flow-sensitive along straight-line
+// statement sequences:
+//
+//   - after tensor.Recycle(m), any further use of m in the same block (or a
+//     nested one) is a use-after-release, and a second Recycle(m) is a
+//     double release; reassigning m kills the taint;
+//   - after tp.Release() on an *autodiff.Tape, any use of a node variable
+//     previously produced by that tape (a tp.Op(...) method call, or any
+//     call such as Forward(tp, ...) that takes the tape and returns a
+//     *autodiff.Node) is a use of recycled storage.
+//
+// Releases inside a conditional or loop body do not taint statements after
+// the enclosing statement (the branch may not execute), which keeps the
+// check free of path-insensitive false positives at the cost of missing
+// some cross-branch bugs. An explicit `//streamlint:pool-ok <justification>`
+// on the flagged line or the line above waives the check.
+package poolsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"streamgnn/tools/streamlint/internal/analysis"
+)
+
+// Analyzer is the poolsafe check.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolsafe",
+	Doc:  "flags use-after-release and double-release of pooled tensor buffers and released tape nodes",
+	Run:  run,
+}
+
+const directive = "pool-ok"
+
+// release records why an object is tainted.
+type release struct {
+	pos  token.Pos
+	kind string // "recycled matrix" or "released tape node"
+}
+
+// state maps released objects to their release site. Copies are cheap: the
+// maps stay tiny (a handful of released locals per function).
+type state map[types.Object]release
+
+func (s state) clone() state {
+	c := make(state, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// checker carries the per-function analysis state.
+type checker struct {
+	pass *analysis.Pass
+	// derived maps a tape object to the node objects produced from it.
+	derived map[types.Object][]types.Object
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c := &checker{pass: pass, derived: make(map[types.Object][]types.Object)}
+			c.block(fd.Body.List, make(state))
+		}
+	}
+	return nil
+}
+
+// block scans a statement list in order, threading the taint state through.
+func (c *checker) block(stmts []ast.Stmt, st state) {
+	for _, stmt := range stmts {
+		c.stmt(stmt, st)
+	}
+}
+
+// stmt processes one statement: reports uses of tainted objects, applies
+// kills for reassignments, and adds taints for releases.
+func (c *checker) stmt(stmt ast.Stmt, st state) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if c.releaseCall(s.X, st) {
+			return
+		}
+		c.uses(s.X, st)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			c.uses(rhs, st)
+		}
+		c.recordDerived(s)
+		for _, lhs := range s.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				// Reassignment (or redeclaration) gives the name a fresh
+				// value: kill the taint.
+				if obj := c.objOf(id); obj != nil {
+					delete(st, obj)
+				}
+				continue
+			}
+			c.uses(lhs, st)
+		}
+	case *ast.DeferStmt:
+		// Deferred releases run at function exit; later statements in the
+		// body may still use the value safely.
+	case *ast.BlockStmt:
+		c.block(s.List, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, st)
+		}
+		c.uses(s.Cond, st)
+		c.block(s.Body.List, st.clone())
+		if s.Else != nil {
+			c.stmt(s.Else, st.clone())
+		}
+	case *ast.ForStmt:
+		inner := st.clone()
+		if s.Init != nil {
+			c.stmt(s.Init, inner)
+		}
+		if s.Cond != nil {
+			c.uses(s.Cond, inner)
+		}
+		c.block(s.Body.List, inner)
+		if s.Post != nil {
+			c.stmt(s.Post, inner)
+		}
+	case *ast.RangeStmt:
+		c.uses(s.X, st)
+		c.block(s.Body.List, st.clone())
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			c.uses(s.Tag, st)
+		}
+		for _, cc := range s.Body.List {
+			c.block(cc.(*ast.CaseClause).Body, st.clone())
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cc := range s.Body.List {
+			c.block(cc.(*ast.CaseClause).Body, st.clone())
+		}
+	default:
+		if stmt != nil {
+			c.usesNode(stmt, st)
+		}
+	}
+}
+
+// releaseCall handles `tensor.Recycle(x)` and `tp.Release()` expression
+// statements, returning true when expr was one of them.
+func (c *checker) releaseCall(expr ast.Expr, st state) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := analysis.CalleeFunc(c.pass.TypesInfo, call)
+	if fn == nil {
+		return false
+	}
+	if isTensorRecycle(fn) && len(call.Args) == 1 {
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+			obj := c.objOf(id)
+			if obj == nil {
+				return true
+			}
+			if prev, released := st[obj]; released {
+				if !c.pass.Directive(call.Pos(), directive) {
+					c.pass.Reportf(call.Pos(), "double release: %s was already recycled at %s; justify with %s%s if intended", id.Name, c.pass.Fset.Position(prev.pos), analysis.DirectivePrefix, directive)
+				}
+				return true
+			}
+			st[obj] = release{pos: call.Pos(), kind: "recycled matrix"}
+			return true
+		}
+		// Recycling a non-identifier (field, call result): nothing to track.
+		return true
+	}
+	if isTapeRelease(fn) {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				if tape := c.objOf(id); tape != nil {
+					for _, node := range c.derived[tape] {
+						if _, released := st[node]; !released {
+							st[node] = release{pos: call.Pos(), kind: "released tape node"}
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// recordDerived tracks `n := tp.Op(...)` and `n := f(tp, ...)` bindings of
+// tape-produced nodes.
+func (c *checker) recordDerived(as *ast.AssignStmt) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok || !isNodePtr(c.pass.TypesInfo.Types[as.Rhs[0]].Type) {
+		return
+	}
+	lhs, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	node := c.objOf(lhs)
+	if node == nil {
+		return
+	}
+	// The tape may appear as the method receiver or as any argument.
+	var tapeExprs []ast.Expr
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		tapeExprs = append(tapeExprs, sel.X)
+	}
+	tapeExprs = append(tapeExprs, call.Args...)
+	for _, e := range tapeExprs {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok || !isTapePtr(c.pass.TypesInfo.Types[e].Type) {
+			continue
+		}
+		if tape := c.objOf(id); tape != nil {
+			c.derived[tape] = append(c.derived[tape], node)
+			return
+		}
+	}
+}
+
+// uses reports every read of a tainted object within expr.
+func (c *checker) uses(expr ast.Expr, st state) {
+	if expr == nil {
+		return
+	}
+	c.usesNode(expr, st)
+}
+
+func (c *checker) usesNode(n ast.Node, st state) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		id, ok := node.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := c.pass.TypesInfo.Uses[id]
+		rel, released := st[obj]
+		if !released {
+			return true
+		}
+		if c.pass.Directive(id.Pos(), directive) {
+			return true
+		}
+		c.pass.Reportf(id.Pos(), "use after release: %s is a %s (released at %s) and its buffer may already be reused; justify with %s%s if intended", id.Name, rel.kind, c.pass.Fset.Position(rel.pos), analysis.DirectivePrefix, directive)
+		return true
+	})
+}
+
+func (c *checker) objOf(id *ast.Ident) types.Object {
+	if obj := c.pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return c.pass.TypesInfo.Defs[id]
+}
+
+// isTensorRecycle matches streamgnn/internal/tensor.Recycle (by path suffix,
+// so fixtures can provide a stub package).
+func isTensorRecycle(fn *types.Func) bool {
+	return fn.Name() == "Recycle" && hasPathSuffix(analysis.PkgPathOf(fn), "internal/tensor")
+}
+
+// isTapeRelease matches (*autodiff.Tape).Release.
+func isTapeRelease(fn *types.Func) bool {
+	if fn.Name() != "Release" {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	return recv != nil && isTapePtr(recv.Type())
+}
+
+func isTapePtr(t types.Type) bool { return isNamedPtr(t, "internal/autodiff", "Tape") }
+func isNodePtr(t types.Type) bool { return isNamedPtr(t, "internal/autodiff", "Node") }
+
+func isNamedPtr(t types.Type, pathSuffix, name string) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == name && hasPathSuffix(named.Obj().Pkg().Path(), pathSuffix)
+}
+
+func hasPathSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}

@@ -1,0 +1,228 @@
+// Command streamlint is the repository's invariant checker: a multichecker
+// over four repo-specific analyzers (detorder, poolsafe, ckptstate,
+// atomalign) built on the stdlib-only analysis scaffolding in
+// internal/analysis — the offline build environment cannot vendor
+// golang.org/x/tools, so streamlint carries a miniature of its API instead.
+//
+// Two modes:
+//
+//	go run ./tools/streamlint ./...        # standalone, over package patterns
+//	go vet -vettool=$(which streamlint)    # unit-checker protocol under cmd/go
+//
+// Standalone mode resolves patterns with `go list -deps -export` and
+// type-checks targets against build-cache export data, so it needs no
+// network and no pre-installed archives. Vettool mode implements the cmd/go
+// JSON config protocol (-V=full, -flags, then one *.cfg per package unit),
+// which also covers _test.go files.
+//
+// Exit status: 0 clean, 1 usage or load failure, 2 diagnostics reported.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"streamgnn/tools/streamlint/internal/analysis"
+	"streamgnn/tools/streamlint/internal/checks/atomalign"
+	"streamgnn/tools/streamlint/internal/checks/ckptstate"
+	"streamgnn/tools/streamlint/internal/checks/detorder"
+	"streamgnn/tools/streamlint/internal/checks/poolsafe"
+	"streamgnn/tools/streamlint/internal/load"
+)
+
+// analyzers is the streamlint suite, in reporting order.
+var analyzers = []*analysis.Analyzer{
+	detorder.Analyzer,
+	poolsafe.Analyzer,
+	ckptstate.Analyzer,
+	atomalign.Analyzer,
+}
+
+func main() {
+	args := os.Args[1:]
+	// cmd/go probes the vettool twice before use: -V=full for the content
+	// ID, -flags for the analyzer flags it may forward.
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		fmt.Printf("streamlint version 1 buildID=streamlint-determinism-suite-v1\n")
+		return
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	if len(args) == 1 && args[0] == "-help" {
+		usage(os.Stdout)
+		return
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitCheck(args[0]))
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	os.Exit(standalone(args))
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintf(w, "usage: streamlint [packages]   (or as go vet -vettool)\n\nanalyzers:\n")
+	for _, a := range analyzers {
+		fmt.Fprintf(w, "  %-10s %s\n", a.Name, a.Doc)
+	}
+}
+
+// runAll applies every analyzer to one package and returns its diagnostics.
+func runAll(fset *token.FileSet, pkg *load.Package) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.Path, err)
+		}
+	}
+	return diags, nil
+}
+
+// print writes diagnostics in the canonical file:line:col form, sorted by
+// position, and returns how many there were.
+func print(fset *token.FileSet, diags []analysis.Diagnostic) int {
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	return len(diags)
+}
+
+// standalone loads package patterns and checks them all.
+func standalone(patterns []string) int {
+	pkgs, fset, err := load.Packages("", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "streamlint:", err)
+		return 1
+	}
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		ds, err := runAll(fset, pkg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "streamlint:", err)
+			return 1
+		}
+		diags = append(diags, ds...)
+	}
+	if print(fset, diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// vetConfig mirrors the JSON configuration cmd/go hands a vettool for each
+// package unit.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitCheck analyzes one cmd/go vet unit.
+func unitCheck(cfgPath string) int {
+	raw, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "streamlint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "streamlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// cmd/go requires the facts file regardless of findings; streamlint
+	// analyzers exchange no facts, so an empty file suffices.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "streamlint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "streamlint:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	conf := types.Config{Importer: imp, Error: func(error) {}}
+	if cfg.GoVersion != "" {
+		conf.GoVersion = cfg.GoVersion
+	}
+	info := analysis.NewInfo()
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "streamlint: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	pkg := &load.Package{Path: cfg.ImportPath, Files: files, Types: tpkg, Info: info}
+	diags, err := runAll(fset, pkg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "streamlint:", err)
+		return 1
+	}
+	if print(fset, diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"streamgnn/tools/streamlint/internal/analysistest"
+	"streamgnn/tools/streamlint/internal/checks/atomalign"
+	"streamgnn/tools/streamlint/internal/checks/ckptstate"
+	"streamgnn/tools/streamlint/internal/checks/detorder"
+	"streamgnn/tools/streamlint/internal/checks/poolsafe"
+)
+
+var fixtureRoot = filepath.Join("testdata", "src")
+
+func TestDetOrderFixtures(t *testing.T) {
+	analysistest.Run(t, fixtureRoot, detorder.Analyzer, "detorder/a")
+}
+
+func TestDetOrderScopedOut(t *testing.T) {
+	// internal/bench is outside the determinism scope: the same constructs
+	// that fire in detorder/a must stay silent there.
+	analysistest.Run(t, fixtureRoot, detorder.Analyzer, "streamgnn/internal/bench")
+}
+
+func TestPoolSafeFixtures(t *testing.T) {
+	analysistest.Run(t, fixtureRoot, poolsafe.Analyzer, "poolsafe/a")
+}
+
+func TestCkptStateFixtures(t *testing.T) {
+	analysistest.Run(t, fixtureRoot, ckptstate.Analyzer, "ckptstate/a")
+}
+
+func TestAtomAlignFixtures(t *testing.T) {
+	analysistest.Run(t, fixtureRoot, atomalign.Analyzer, "atomalign/a")
+}
+
+// buildTool compiles the streamlint binary once for the protocol tests.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "streamlint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building streamlint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestStandaloneCleanTree is the acceptance gate: the suite must exit 0 over
+// the repository's own packages.
+func TestStandaloneCleanTree(t *testing.T) {
+	bin := buildTool(t)
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("streamlint over the tree: %v\n%s", err, out)
+	}
+}
+
+// TestStandaloneFindsSeededViolation proves the standalone binary actually
+// reports diagnostics (exit 2) on code that violates an invariant.
+func TestStandaloneFindsSeededViolation(t *testing.T) {
+	bin := buildTool(t)
+	dir := t.TempDir()
+	src := `package bad
+
+func keys(m map[int]bool) []int {
+	var ks []int
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+`
+	writeModule(t, dir, src)
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 2 {
+		t.Fatalf("want exit 2 with findings, got err=%v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "randomized iteration order") {
+		t.Fatalf("missing detorder diagnostic:\n%s", out)
+	}
+}
+
+// TestVettoolProtocol runs the binary the way cmd/go does: `go vet
+// -vettool=streamlint`, exercising the -V/-flags probes and the *.cfg unit
+// protocol end to end.
+func TestVettoolProtocol(t *testing.T) {
+	bin := buildTool(t)
+	dir := t.TempDir()
+	src := `package bad
+
+import "time"
+
+func now() time.Time {
+	return time.Now()
+}
+`
+	writeModule(t, dir, src)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet should fail on a time.Now violation, output:\n%s", out)
+	}
+	if !strings.Contains(string(out), "time.Now on a seeded deterministic path") {
+		t.Fatalf("missing detorder diagnostic under vettool protocol:\n%s", out)
+	}
+
+	// And a clean package passes.
+	writeModule(t, dir, "package bad\n\nfunc ok() int { return 1 }\n")
+	cmd = exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet on clean package: %v\n%s", err, out)
+	}
+}
+
+// writeModule lays out a single-file module named like an in-scope streamgnn
+// package, so detorder's scoping applies to it.
+func writeModule(t *testing.T, dir, src string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module example.com/scratch\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "bad.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// repoRoot walks up from the package directory to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test directory")
+		}
+		dir = parent
+	}
+}

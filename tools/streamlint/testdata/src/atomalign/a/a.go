@@ -1,0 +1,72 @@
+// Fixture for the atomalign analyzer: 64-bit atomics on struct fields that
+// are not 8-byte aligned under 32-bit layout rules.
+package a
+
+import "sync/atomic"
+
+// misaligned puts the counter at offset 4 on 386 (int64 has 4-byte alignment
+// there, so no padding is inserted).
+type misaligned struct {
+	pad int32
+	n   int64
+}
+
+func addMisaligned(s *misaligned) {
+	atomic.AddInt64(&s.n, 1) // want `atomic.AddInt64 on field n at 32-bit offset 4`
+}
+
+// aligned leads with the counter: offset 0 is the start of the allocation,
+// which the runtime 8-aligns.
+type aligned struct {
+	n   int64
+	pad int32
+}
+
+func addAligned(s *aligned) {
+	atomic.AddInt64(&s.n, 1)
+}
+
+// Chained selectors accumulate offsets: stats sits at offset 4, so its first
+// counter lands at 4.
+type inner struct{ hits int64 }
+
+type outer struct {
+	pad   int32
+	stats inner
+}
+
+func addChained(o *outer) {
+	atomic.AddInt64(&o.stats.hits, 1) // want `atomic.AddInt64 on field hits at 32-bit offset 4`
+}
+
+// A pointer hop restarts layout at a fresh allocation, so the same chain
+// through a pointer is fine.
+type outerPtr struct {
+	pad   int32
+	stats *inner
+}
+
+func addThroughPointer(o *outerPtr) {
+	atomic.AddInt64(&o.stats.hits, 1)
+}
+
+// Loads and stores are covered, not just Add.
+func loadMisaligned(s *misaligned) int64 {
+	return atomic.LoadInt64(&s.n) // want `atomic.LoadInt64 on field n at 32-bit offset 4`
+}
+
+// 32-bit operations have no 8-byte requirement.
+type counters32 struct {
+	pad int32
+	n   int32
+}
+
+func add32(s *counters32) {
+	atomic.AddInt32(&s.n, 1)
+}
+
+// Escape hatch: a justified //streamlint:atomic-ok waives the check.
+func waived(s *misaligned) {
+	//streamlint:atomic-ok this struct is only ever heap-allocated on 64-bit builds
+	atomic.AddInt64(&s.n, 1)
+}

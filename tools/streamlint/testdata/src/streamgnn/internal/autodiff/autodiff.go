@@ -1,0 +1,23 @@
+// Stub of the real streamgnn/internal/autodiff package, just enough surface
+// for poolsafe fixtures (the analyzer matches by import-path suffix).
+package autodiff
+
+import "streamgnn/internal/tensor"
+
+// Node is a tape node whose buffers belong to the tape.
+type Node struct{ Value *tensor.Matrix }
+
+// Tape records operations and owns the node storage.
+type Tape struct{}
+
+// NewTape returns a tape.
+func NewTape() *Tape { return &Tape{} }
+
+// Release recycles every node the tape produced.
+func (t *Tape) Release() {}
+
+// Add is a tape operation producing a node.
+func (t *Tape) Add(a, b *Node) *Node { return &Node{} }
+
+// Forward is a free function taking the tape and producing a node.
+func Forward(tp *Tape, x *tensor.Matrix) *Node { return &Node{} }

@@ -1,0 +1,16 @@
+// Fixture proving detorder's scoping: internal/bench is NOT one of the
+// deterministic-path packages, so none of these order-sensitive constructs
+// are flagged.
+package bench
+
+import "time"
+
+func sumValues(m map[int]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func wallClock() time.Time { return time.Now() }

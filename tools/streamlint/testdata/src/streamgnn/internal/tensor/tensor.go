@@ -1,0 +1,18 @@
+// Stub of the real streamgnn/internal/tensor package, just enough surface
+// for poolsafe fixtures (the analyzer matches by import-path suffix).
+package tensor
+
+// Matrix is a pooled dense matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New returns a pooled matrix.
+func New(rows, cols int) *Matrix { return &Matrix{Rows: rows, Cols: cols} }
+
+// Recycle hands the matrix back to the pool.
+func Recycle(m *Matrix) {}
+
+// Sum reads the matrix.
+func Sum(m *Matrix) float64 { return 0 }
