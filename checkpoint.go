@@ -24,9 +24,13 @@ import (
 // gradient history) — new fields on the gob-encoded OptState, so v3
 // checkpoints still decode; checkpointVersionMin marks the oldest readable
 // format. A v3 WinGNN checkpoint simply carries no optimizer state (the old
-// winOptimizer was not Stateful) and resumes with an empty window.
+// winOptimizer was not Stateful) and resumes with an empty window. Version 5
+// records the shard layout (Shards/ShardLayout) so a resumed engine can be
+// validated against — and a service can adopt — the saved partition; the
+// fields gob-decode to zero from older checkpoints, which skips the
+// validation (pre-v5 runs were always unsharded).
 const (
-	checkpointVersion    = 4
+	checkpointVersion    = 5
 	checkpointVersionMin = 3
 )
 
@@ -67,6 +71,11 @@ type checkpoint struct {
 	// invalid at save time (engine not in incremental mode, or pre-Step).
 	Emb         *dgnn.StateDump
 	EmbLastFull int
+
+	// Shard layout (v5): the effective shard count (1 when unsharded) and
+	// the layout name ("" when unsharded). 0 in pre-v5 checkpoints.
+	Shards      int
+	ShardLayout string
 }
 
 // CheckpointInfo is the identifying header of a saved checkpoint.
@@ -77,6 +86,11 @@ type CheckpointInfo struct {
 	Hidden   int
 	// Step is the next step the resumed engine will execute.
 	Step int
+	// Shards is the saved run's effective shard count (1 = unsharded, 0 =
+	// pre-v5 checkpoint) and ShardLayout its layout name; a resuming
+	// service configures its engine to match (cmd/queryd does).
+	Shards      int
+	ShardLayout string
 }
 
 // PeekCheckpoint decodes just the identifying header of a checkpoint, so a
@@ -88,7 +102,7 @@ func PeekCheckpoint(r io.Reader) (CheckpointInfo, error) {
 		return CheckpointInfo{}, fmt.Errorf("streamgnn: decoding checkpoint: %w", err)
 	}
 	return CheckpointInfo{Version: ck.Version, Model: ck.Model, Strategy: ck.Strategy,
-		Hidden: ck.Hidden, Step: ck.Step}, nil
+		Hidden: ck.Hidden, Step: ck.Step, Shards: ck.Shards, ShardLayout: ck.ShardLayout}, nil
 }
 
 // SaveCheckpoint writes the engine's learned and runtime state to w.
@@ -105,6 +119,11 @@ func (e *Engine) SaveCheckpoint(w io.Writer) error {
 		SeenOutcomes: e.seenOutcomes,
 		Emb:          e.emb.Dump(),
 		EmbLastFull:  e.emb.LastFullStep(),
+		Shards:       1,
+	}
+	if e.shards != nil {
+		ck.Shards = e.shards.P
+		ck.ShardLayout = e.shards.Layout.String()
 	}
 	for _, p := range e.allParams() {
 		ck.Params = append(ck.Params, dgnn.StateDump{
@@ -169,6 +188,16 @@ func (e *Engine) LoadCheckpoint(r io.Reader) error {
 	if ck.Model != e.cfg.Model || ck.Strategy != e.cfg.Strategy || ck.Hidden != e.cfg.Hidden {
 		return fmt.Errorf("streamgnn: checkpoint is for %s/%s/h=%d, engine is %s/%s/h=%d",
 			ck.Model, ck.Strategy, ck.Hidden, e.cfg.Model, e.cfg.Strategy, e.cfg.Hidden)
+	}
+	if ck.Shards != 0 { // 0 = pre-v5 checkpoint: always unsharded, skip
+		engShards, engLayout := 1, ""
+		if e.shards != nil {
+			engShards, engLayout = e.shards.P, e.shards.Layout.String()
+		}
+		if ck.Shards != engShards || ck.ShardLayout != engLayout {
+			return fmt.Errorf("streamgnn: checkpoint is for shards=%d/%s, engine is shards=%d/%s (resume with the saved partition; services adopt it from CheckpointInfo)",
+				ck.Shards, ck.ShardLayout, engShards, engLayout)
+		}
 	}
 	params := e.allParams()
 	if len(ck.Params) != len(params) {

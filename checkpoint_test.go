@@ -270,7 +270,7 @@ func TestPeekCheckpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := CheckpointInfo{Version: checkpointVersion, Model: cfg.Model,
-		Strategy: cfg.Strategy, Hidden: 8, Step: 5}
+		Strategy: cfg.Strategy, Hidden: 8, Step: 5, Shards: 1}
 	if info != want {
 		t.Fatalf("peek = %+v, want %+v", info, want)
 	}

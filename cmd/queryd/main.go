@@ -61,6 +61,8 @@ func main() {
 	dirtyThreshold := flag.Float64("dirty-threshold", 0, "with -incremental: compute-region fraction above which a step falls back to a full forward (0 = engine default of 0.25, >=1 never falls back)")
 	interval := flag.Int("interval", 0, "steps between training steps (0 = engine default of 1; raise so -incremental can reuse cached embeddings between training steps)")
 	kernelWorkers := flag.Int("kernel-workers", 0, "tensor-kernel parallelism (0 = serial, negative = NumCPU)")
+	shards := flag.Int("shards", 0, "partition the node space into this many shards and fan incremental forwards out per shard (0/1 = unsharded; >1 implies -incremental; see DESIGN.md §12)")
+	shardLayout := flag.String("shard-layout", "hash", "node-to-shard layout with -shards: hash or range")
 	flag.Parse()
 
 	opts := options{
@@ -70,6 +72,7 @@ func main() {
 		incremental: *incremental, refreshEvery: *refreshEvery,
 		dirtyThreshold: *dirtyThreshold,
 		interval:       *interval, kernelWorkers: *kernelWorkers,
+		shards: *shards, shardLayout: *shardLayout,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "queryd:", err)
@@ -92,6 +95,8 @@ type options struct {
 	dirtyThreshold                  float64
 	interval                        int
 	kernelWorkers                   int
+	shards                          int
+	shardLayout                     string
 }
 
 func run(opts options) error {
@@ -113,6 +118,14 @@ func run(opts options) error {
 			return err
 		}
 		opts.model, opts.strategy, opts.hidden = info.Model, info.Strategy, info.Hidden
+		if info.Shards > 0 {
+			// Adopt the saved shard layout: LoadCheckpoint rejects a
+			// mismatched partition, so the flags must not override it.
+			opts.shards, opts.shardLayout = info.Shards, info.ShardLayout
+			if opts.shards <= 1 {
+				opts.shardLayout = "hash"
+			}
+		}
 		resumeStep = info.Step
 		fmt.Printf("resuming %s/%s at step %d from %s\n", info.Model, info.Strategy, info.Step, opts.ckptPath)
 	}
@@ -133,6 +146,8 @@ func run(opts options) error {
 		DirtyFullThreshold: opts.dirtyThreshold,
 		Interval:           opts.interval,
 		KernelWorkers:      opts.kernelWorkers,
+		Shards:             opts.shards,
+		ShardLayout:        opts.shardLayout,
 	})
 	if err != nil {
 		return err
@@ -453,6 +468,17 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if tel.DirtyFraction.Count > 0 {
 		obs.WriteHeader(&b, "streamgnn_forward_dirty_fraction", "Per-step compute-region fraction in incremental mode.", "histogram")
 		obs.WriteHistogram(&b, "streamgnn_forward_dirty_fraction", "", snap(tel.DirtyFraction))
+	}
+
+	if tel.Shards > 1 {
+		obs.WriteHeader(&b, "streamgnn_shard_nodes", "Node occupancy per shard.", "gauge")
+		obs.WriteIndexedIntValues(&b, "streamgnn_shard_nodes", "shard", tel.ShardNodes)
+		obs.WriteHeader(&b, "streamgnn_shard_spliced_rows_total", "Embedding rows contributed per shard by sharded forwards.", "counter")
+		obs.WriteIndexedIntValues(&b, "streamgnn_shard_spliced_rows_total", "shard", tel.ShardSplicedRows)
+		obs.WriteHeader(&b, "streamgnn_cross_shard_edge_fraction", "Fraction of live edges whose endpoints live on different shards.", "gauge")
+		obs.WriteValue(&b, "streamgnn_cross_shard_edge_fraction", "", tel.CrossShardEdgeFraction)
+		obs.WriteHeader(&b, "streamgnn_shard_merge_seconds", "Cross-shard merge-phase latency.", "histogram")
+		obs.WriteHistogram(&b, "streamgnn_shard_merge_seconds", "", snap(tel.ShardMerge))
 	}
 
 	obs.WriteHeader(&b, "streamgnn_train_targets_total", "Training targets consumed, by kind.", "counter")

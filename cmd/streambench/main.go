@@ -28,6 +28,7 @@ func main() {
 	steps := flag.Int("steps", 40, "stream steps per run")
 	scale := flag.Float64("scale", 1, "workload scale factor")
 	kernelWorkers := flag.Int("kernel-workers", 0, "tensor-kernel parallelism (0 = serial, negative = NumCPU)")
+	shards := flag.Int("shards", 4, "with -hotpath: shard count for the sharded-forward A/B (Config.Shards; <2 skips it)")
 	flag.Parse()
 
 	if *kernelWorkers < 0 {
@@ -50,6 +51,14 @@ func main() {
 			os.Exit(1)
 		}
 		rep.Forward = &ab
+		if *shards > 1 {
+			sab, serr := bench.RunShardedAB("TGCN", *steps, *shards)
+			if serr != nil {
+				fmt.Fprintln(os.Stderr, "streambench:", serr)
+				os.Exit(1)
+			}
+			rep.Sharded = &sab
+		}
 		fmt.Print(rep.String())
 		if *jsonOut != "" {
 			data, jerr := json.MarshalIndent(rep, "", "  ")

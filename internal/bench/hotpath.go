@@ -106,6 +106,9 @@ type HotPathReport struct {
 	// Forward is the full vs. incremental inference comparison (see
 	// RunForwardAB); nil when the forward A/B was not run.
 	Forward *ForwardAB
+	// Sharded is the unsharded vs. sharded incremental-forward comparison
+	// (see RunShardedAB); nil when the sharded A/B was not run.
+	Sharded *ShardedAB
 }
 
 // timeSteps measures adaptive-step throughput (steps/sec) for one
@@ -241,6 +244,9 @@ func (r HotPathReport) String() string {
 	}
 	if r.Forward != nil {
 		b.WriteString(r.Forward.String())
+	}
+	if r.Sharded != nil {
+		b.WriteString(r.Sharded.String())
 	}
 	return b.String()
 }

@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"streamgnn"
+)
+
+// ShardedAB compares the unsharded incremental forward against the sharded
+// fan-out (Config.Shards) on a synthetic sparse-update stream whose dirty
+// balls form scattered islands: the compute region then decomposes into many
+// connected components, which is the workload the per-shard workers can
+// actually split. Both engines run the identical stream with identical
+// incremental settings — results are bit-identical by construction (see
+// DESIGN.md §12) — so the ratio isolates the fan-out's parallelism against
+// its partitioning and merge overhead.
+type ShardedAB struct {
+	Nodes        int
+	DirtyPerStep int
+	Shards       int
+	Model        string
+	Layout       string
+	// MaxProcs is runtime.GOMAXPROCS at measurement time. The fan-out does
+	// the same flops as the unsharded forward, just on P workers, so the
+	// speedup is bounded by min(P, MaxProcs); on a single-CPU machine expect
+	// ~1.0x (the overhead of partitioning + merge, which this A/B bounds).
+	MaxProcs int
+	// BaseStepsPerSec / ShardedStepsPerSec are whole-Step throughputs of
+	// the shards=1 and shards=P engines; Speedup is their ratio.
+	BaseStepsPerSec    float64
+	ShardedStepsPerSec float64
+	Speedup            float64
+	// CrossShardEdgeFraction is the sharded engine's final cross-shard edge
+	// fraction — how much of the graph structure straddles the partition.
+	CrossShardEdgeFraction float64
+}
+
+// newShardedEngine builds an incremental-forward engine over the same
+// ring-plus-chords topology as the forward A/B. shards > 1 enables the
+// sharded pipeline; the range layout keeps the ring's consecutive-id arcs —
+// and therefore most dirty-region components — shard-local.
+func newShardedEngine(model string, n, shards int) (*streamgnn.Engine, error) {
+	cfg := streamgnn.DefaultConfig()
+	cfg.Model = model
+	cfg.Strategy = streamgnn.StrategyWeighted
+	cfg.Hidden = 64
+	cfg.Seed = 42
+	cfg.Interval = 1 << 30
+	cfg.IncrementalForward = true
+	// Scattered islands sum to a sizable region; never fall back to full.
+	cfg.DirtyFullThreshold = 1
+	if shards > 1 {
+		cfg.Shards = shards
+		cfg.ShardLayout = "range"
+	}
+	e, err := streamgnn.NewEngine(8, cfg)
+	if err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < n; i++ {
+		f := make([]float64, 8)
+		f[i%8] = 1
+		e.AddNode(0, f)
+	}
+	for i := 0; i < n; i++ {
+		e.AddUndirectedEdge(i, (i+1)%n, 0)
+	}
+	for i := 0; i < n/50; i++ {
+		e.AddUndirectedEdge(r.Intn(n), r.Intn(n), 0)
+	}
+	return e, nil
+}
+
+// RunShardedAB measures whole-Step throughput of the unsharded incremental
+// engine against the sharded fan-out at the given width on the same
+// sparse-update stream.
+func RunShardedAB(model string, steps, shards int) (ShardedAB, error) {
+	const n = 6000
+	dirty := n / 20 // 2% of nodes per step, scattered
+	ab := ShardedAB{Nodes: n, DirtyPerStep: dirty, Shards: shards,
+		Model: model, Layout: "range", MaxProcs: runtime.GOMAXPROCS(0)}
+
+	run := func(width int) (float64, *streamgnn.Engine, error) {
+		e, err := newShardedEngine(model, n, width)
+		if err != nil {
+			return 0, nil, err
+		}
+		for s := 0; s < 3; s++ { // warmup: train once, re-establish the cache
+			mutateSparse(e, n, dirty, s)
+			if err := e.Step(); err != nil {
+				return 0, nil, err
+			}
+		}
+		// Settle the heap before timing: earlier runs leave garbage behind,
+		// and without this the run that happens to go second pays the GC
+		// debt of the one before it.
+		runtime.GC()
+		start := time.Now()
+		for s := 3; s < 3+steps; s++ {
+			mutateSparse(e, n, dirty, s)
+			if err := e.Step(); err != nil {
+				return 0, nil, err
+			}
+		}
+		return float64(steps) / time.Since(start).Seconds(), e, nil
+	}
+
+	// Interleave three reps of each width and keep the medians, like the
+	// other A/Bs — alternating which width goes first so neither always
+	// inherits the other's heap.
+	var base, shrd [3]float64
+	var shardedEngine *streamgnn.Engine
+	for r := 0; r < 3; r++ {
+		var err error
+		if r%2 == 0 {
+			if base[r], _, err = run(1); err != nil {
+				return ab, err
+			}
+			if shrd[r], shardedEngine, err = run(shards); err != nil {
+				return ab, err
+			}
+		} else {
+			if shrd[r], shardedEngine, err = run(shards); err != nil {
+				return ab, err
+			}
+			if base[r], _, err = run(1); err != nil {
+				return ab, err
+			}
+		}
+	}
+	ab.BaseStepsPerSec = median3(base[0], base[1], base[2])
+	ab.ShardedStepsPerSec = median3(shrd[0], shrd[1], shrd[2])
+	if ab.BaseStepsPerSec > 0 {
+		ab.Speedup = ab.ShardedStepsPerSec / ab.BaseStepsPerSec
+	}
+	ab.CrossShardEdgeFraction = shardedEngine.Telemetry().CrossShardEdgeFraction
+	return ab, nil
+}
+
+// String renders the comparison for the streambench table output.
+func (ab ShardedAB) String() string {
+	return fmt.Sprintf(
+		"Sharded forward (%s, %d nodes, %d dirty/step, %d shards, %s layout, GOMAXPROCS=%d)\n  shards=1 %.1f st/s, shards=%d %.1f st/s (%.2fx; cross-shard edge fraction %.3f)\n",
+		ab.Model, ab.Nodes, ab.DirtyPerStep, ab.Shards, ab.Layout, ab.MaxProcs,
+		ab.BaseStepsPerSec, ab.Shards, ab.ShardedStepsPerSec, ab.Speedup,
+		ab.CrossShardEdgeFraction)
+}

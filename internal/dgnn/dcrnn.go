@@ -52,6 +52,10 @@ func (m *DCRNNModel) BeginStep(t int) { m.state.snapshot() }
 // Memoryless implements Model: DCRNN carries per-node GRU state.
 func (m *DCRNNModel) Memoryless() bool { return false }
 
+// PregrowState sizes the hidden-state buffers for n nodes ahead of a
+// concurrent shard fan-out.
+func (m *DCRNNModel) PregrowState(n int) { m.state.pregrow(n) }
+
 // Reset implements Model.
 func (m *DCRNNModel) Reset() { m.state.reset() }
 

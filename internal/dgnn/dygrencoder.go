@@ -60,6 +60,13 @@ func (m *DyGrEncoderModel) BeginStep(t int) {
 // Memoryless implements Model: DyGrEncoder carries per-node LSTM state.
 func (m *DyGrEncoderModel) Memoryless() bool { return false }
 
+// PregrowState sizes the hidden- and cell-state buffers for n nodes ahead of
+// a concurrent shard fan-out.
+func (m *DyGrEncoderModel) PregrowState(n int) {
+	m.hState.pregrow(n)
+	m.cState.pregrow(n)
+}
+
 // Reset implements Model.
 func (m *DyGrEncoderModel) Reset() {
 	m.hState.reset()

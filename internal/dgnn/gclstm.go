@@ -55,6 +55,13 @@ func (m *GCLSTMModel) BeginStep(t int) {
 // Memoryless implements Model: GC-LSTM carries per-node LSTM state.
 func (m *GCLSTMModel) Memoryless() bool { return false }
 
+// PregrowState sizes the hidden- and cell-state buffers for n nodes ahead of
+// a concurrent shard fan-out.
+func (m *GCLSTMModel) PregrowState(n int) {
+	m.hState.pregrow(n)
+	m.cState.pregrow(n)
+}
+
 // Reset implements Model.
 func (m *GCLSTMModel) Reset() {
 	m.hState.reset()

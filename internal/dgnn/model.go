@@ -36,6 +36,13 @@ type View struct {
 	// rows — the dirty nodes' L-hop frontier — may overwrite live state;
 	// boundary rows have truncated receptive fields and must not.
 	CommitRows []int
+	// SnapshotState makes a committed forward gather recurrent state from
+	// the BeginStep snapshot instead of the live buffer (writes still land
+	// live, masked by CommitRows). The sharded fan-out sets it on every
+	// per-shard view: at forward time the snapshot equals the live state
+	// (BeginStep just copied it), so values are unchanged, but concurrent
+	// shard workers never read a row another worker is committing.
+	SnapshotState bool
 	// TypedFn lazily builds per-relation normalized adjacencies for
 	// relation-aware models (RTGCN); nil for views that cannot provide it.
 	TypedFn func(ntypes int) []*tensor.CSR
@@ -138,6 +145,18 @@ type Model interface {
 	DumpState() []StateDump
 	// RestoreState replaces the recurrent state from a checkpoint.
 	RestoreState([]StateDump) error
+}
+
+// StatePregrower is implemented by models whose committed forwards are safe
+// to run concurrently on disjoint node sets once per-node state buffers have
+// been grown up front. PregrowState(n) sizes every recurrent-state buffer
+// (live and BeginStep snapshot) for n nodes on the calling goroutine, so the
+// shard fan-out's subsequent gathers and row-disjoint writes never reallocate
+// shared slices. Models with per-step *weight* dynamics on the committed path
+// (EvolveGCN advances its weight recurrence inside Forward) must not
+// implement it; the fan-out runs them serially in shard order instead.
+type StatePregrower interface {
+	PregrowState(n int)
 }
 
 // Kind enumerates the implemented baselines.

@@ -58,6 +58,13 @@ func (m *ROLANDModel) BeginStep(t int) {
 // Memoryless implements Model: ROLAND carries per-node layerwise state.
 func (m *ROLANDModel) Memoryless() bool { return false }
 
+// PregrowState sizes both layers' hidden-state buffers for n nodes ahead of
+// a concurrent shard fan-out.
+func (m *ROLANDModel) PregrowState(n int) {
+	m.h1.pregrow(n)
+	m.h2.pregrow(n)
+}
+
 // Reset implements Model.
 func (m *ROLANDModel) Reset() {
 	m.h1.reset()

@@ -66,6 +66,10 @@ func (m *RTGCNModel) BeginStep(t int) { m.state.snapshot() }
 // Memoryless implements Model: RTGCN carries per-node GRU state.
 func (m *RTGCNModel) Memoryless() bool { return false }
 
+// PregrowState sizes the hidden-state buffers for n nodes ahead of a
+// concurrent shard fan-out.
+func (m *RTGCNModel) PregrowState(n int) { m.state.pregrow(n) }
+
 // Reset implements Model.
 func (m *RTGCNModel) Reset() { m.state.reset() }
 

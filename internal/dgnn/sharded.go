@@ -1,0 +1,132 @@
+package dgnn
+
+import (
+	"sync"
+
+	"streamgnn/internal/autodiff"
+	"streamgnn/internal/graph"
+	"streamgnn/internal/tensor"
+)
+
+// Sharded incremental forward: the engine computes a step's exact rows and
+// compute region globally (so the full-forward fallback decision and the
+// region itself never depend on P), partitions the region by connected
+// component with graph.RegionParts, runs one forward per shard part, and
+// merges the results back into the shared embedding store in a deterministic
+// order. Component isolation makes each part's rows bit-identical to the
+// same rows of a whole-region forward, so shards=1 and shards=P agree bit
+// for bit on seeded runs.
+
+// ShardForward is one shard's slice of a sharded incremental forward.
+type ShardForward struct {
+	// Shard is the owning shard index.
+	Shard int
+	// IDs are the exact rows that fell inside this shard's region part —
+	// ascending global ids, the rows Out carries committed values for and
+	// the rows MergeShards splices.
+	IDs []int
+	// Rows are the positions of IDs inside the shard's region part.
+	Rows []int
+	// Out is the part's embedding matrix (part × hidden); nil for a shard
+	// with no region nodes.
+	Out *tensor.Matrix
+}
+
+// ForwardShards runs one committed incremental forward per non-empty shard
+// part and returns the per-shard results, indexed like parts. parts must be
+// a component-respecting partition of the step's compute region
+// (graph.RegionParts) and exact the global exact-row set (ascending) whose
+// L-hop balls that region covers; each shard commits exactly the exact rows
+// its part contains, so the union of commits over shards equals the
+// unsharded commit set.
+//
+// Models implementing StatePregrower run in parallel: state buffers are
+// grown up front on this goroutine, every per-shard view sets SnapshotState
+// so gathers read the BeginStep snapshot (identical to live state at this
+// point in the step), and the parts' disjoint node sets keep state writes
+// row-disjoint across workers. Models without it — EvolveGCN mutates weight
+// recurrences inside a committed Forward — fall back to a serial loop in
+// shard index order, which computes the same values since each shard still
+// sees only its own components.
+//
+// The caller must have called m.BeginStep for this step already (the engine
+// does), so a snapshot exists and matches the live state.
+func ForwardShards(g *graph.Dynamic, m Model, parts [][]int, exact []int) []ShardForward {
+	res := make([]ShardForward, len(parts))
+	pg, parallel := m.(StatePregrower)
+	if parallel {
+		pg.PregrowState(g.N())
+	}
+	run := func(s int) {
+		nodes := parts[s]
+		res[s].Shard = s
+		if len(nodes) == 0 {
+			return
+		}
+		sub := g.Induced(nodes, nodes[0])
+		ids := intersectSorted(exact, nodes)
+		rows := LocalRows(sub.Nodes, ids)
+		v := DirtyView(sub, rows)
+		v.SnapshotState = true
+		res[s].IDs = ids
+		res[s].Rows = rows
+		res[s].Out = m.Forward(autodiff.NewTape(), v).Value
+	}
+	if !parallel {
+		for s := range parts {
+			run(s)
+		}
+		return res
+	}
+	var wg sync.WaitGroup
+	for s := range parts {
+		if len(parts[s]) == 0 {
+			res[s].Shard = s
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			run(s)
+		}(s)
+	}
+	wg.Wait()
+	return res
+}
+
+// intersectSorted returns the elements common to two ascending id slices.
+func intersectSorted(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// MergeShards splices every shard's exact rows into the shared embedding
+// store, in shard index order with each shard's rows ascending — a fixed
+// total order, so the merged store is identical however the per-shard
+// forwards were scheduled. Returns the number of rows spliced. (Order only
+// matters for determinism of iteration-sensitive consumers; the row sets
+// themselves are disjoint across shards.)
+func MergeShards(store *EmbStore, res []ShardForward) int {
+	rows := 0
+	for _, r := range res {
+		if r.Out == nil {
+			continue
+		}
+		store.Splice(r.Out, r.Rows, r.IDs)
+		rows += len(r.IDs)
+	}
+	return rows
+}

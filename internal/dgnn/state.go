@@ -31,6 +31,33 @@ func (s *nodeState) snapshot() {
 	copy(s.prev, s.data)
 }
 
+// pregrow extends the live buffer — and the BeginStep snapshot, when one
+// exists — to n node rows ahead of a concurrent fan-out. Growth is the only
+// nodeState mutation that is not row-disjoint, so it must happen on one
+// goroutine before shard workers start; the new rows are zero in both
+// buffers (a node first seen this step has no prior state), so pregrowing
+// never changes a computed value. The snapshot must grow too: a SnapshotState
+// gather of a just-added node would otherwise fall back to the live buffer,
+// racing with other shards' commits.
+func (s *nodeState) pregrow(n int) {
+	s.ensure(n)
+	if s.prev == nil || len(s.prev) >= len(s.data) {
+		return
+	}
+	need := len(s.data)
+	if cap(s.prev) >= need {
+		old := len(s.prev)
+		s.prev = s.prev[:need]
+		for i := old; i < need; i++ {
+			s.prev[i] = 0
+		}
+		return
+	}
+	grown := make([]float64, need, 2*need)
+	copy(grown, s.prev)
+	s.prev = grown
+}
+
 func (s *nodeState) ensure(n int) {
 	if n <= s.n {
 		return
@@ -59,19 +86,21 @@ func (s *nodeState) maxID(v View) int {
 	return m
 }
 
-// gather returns the state rows for the view's nodes (a copy). NoCommit
-// views read the BeginStep snapshot when one exists.
+// gather returns the state rows for the view's nodes (a copy). NoCommit and
+// SnapshotState views read the BeginStep snapshot when one exists.
 //
 // NoCommit gathers are strictly read-only: nodes the state has never seen
 // read as zero rows instead of growing the state, exactly the values ensure
 // would append. Training forwards (always NoCommit) therefore never mutate
 // shared model state and can run concurrently on worker goroutines.
+// Committed SnapshotState gathers (the sharded fan-out) rely on pregrow
+// having sized both buffers already, making the ensure below a no-op.
 func (s *nodeState) gather(v View) *tensor.Matrix {
 	if !v.NoCommit {
 		s.ensure(s.maxID(v) + 1)
 	}
 	src := s.data
-	if v.NoCommit && s.prev != nil {
+	if (v.NoCommit || v.SnapshotState) && s.prev != nil {
 		src = s.prev
 	}
 	out := tensor.New(v.N, s.dim)

@@ -51,6 +51,10 @@ func (m *TGCNModel) BeginStep(t int) { m.state.snapshot() }
 // Memoryless implements Model: TGCN carries per-node GRU state.
 func (m *TGCNModel) Memoryless() bool { return false }
 
+// PregrowState sizes the hidden-state buffers for n nodes ahead of a
+// concurrent shard fan-out.
+func (m *TGCNModel) PregrowState(n int) { m.state.pregrow(n) }
+
 // Reset implements Model.
 func (m *TGCNModel) Reset() { m.state.reset() }
 

@@ -63,6 +63,10 @@ func (m *WinGNNModel) BeginStep(t int) {}
 // depends only on the view and incremental inference is exact.
 func (m *WinGNNModel) Memoryless() bool { return true }
 
+// PregrowState is a no-op: WinGNN keeps no per-node state. Implementing the
+// interface opts the model into the parallel shard fan-out.
+func (m *WinGNNModel) PregrowState(n int) {}
+
 // Reset implements Model.
 func (m *WinGNNModel) Reset() {}
 

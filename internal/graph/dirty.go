@@ -1,6 +1,10 @@
 package graph
 
-import "sort"
+import (
+	"sort"
+
+	"streamgnn/internal/shard"
+)
 
 // Forward-inference dirty tracking. When enabled, the graph accumulates the
 // set of nodes whose forward-pass inputs changed — feature writes, label
@@ -17,24 +21,39 @@ import "sort"
 
 // EnableDirtyTracking starts accumulating forward-dirty nodes. Idempotent;
 // tracking is off by default so engines that always run full forwards pay
-// nothing.
+// nothing. With a sharding attached (AttachSharding), tracking is already on
+// via the per-shard trackers and this is a no-op.
 func (g *Dynamic) EnableDirtyTracking() {
-	if g.fwdDirty == nil {
+	if g.sh == nil && g.fwdDirty == nil {
 		g.fwdDirty = make(map[int]struct{})
 	}
 }
 
-// DirtyTrackingEnabled reports whether EnableDirtyTracking was called.
-func (g *Dynamic) DirtyTrackingEnabled() bool { return g.fwdDirty != nil }
+// DirtyTrackingEnabled reports whether EnableDirtyTracking (or
+// AttachSharding, which implies it) was called.
+func (g *Dynamic) DirtyTrackingEnabled() bool { return g.fwdDirty != nil || g.sh != nil }
 
 // DirtyCount returns the number of accumulated dirty nodes (0 when tracking
 // is disabled).
-func (g *Dynamic) DirtyCount() int { return len(g.fwdDirty) }
+func (g *Dynamic) DirtyCount() int {
+	if g.sh != nil {
+		n := 0
+		for _, m := range g.sh.dirty {
+			n += len(m)
+		}
+		return n
+	}
+	return len(g.fwdDirty)
+}
 
 // TakeDirty drains and returns, in ascending order, the nodes whose forward
 // inputs changed since the previous call. Nil when tracking is disabled or
-// nothing changed.
+// nothing changed. With a sharding attached it drains every per-shard
+// tracker and merges the results; use TakeDirtySharded to keep them apart.
 func (g *Dynamic) TakeDirty() []int {
+	if g.sh != nil {
+		return shard.Merge(g.TakeDirtySharded())
+	}
 	if len(g.fwdDirty) == 0 {
 		return nil
 	}

@@ -57,8 +57,13 @@ type Dynamic struct {
 	actDirty map[int]struct{}
 
 	// fwdDirty accumulates forward-inference dirty nodes between TakeDirty
-	// calls (see dirty.go); nil until EnableDirtyTracking.
+	// calls (see dirty.go); nil until EnableDirtyTracking. With a sharding
+	// attached it stays nil and sh.dirty takes over, one tracker per shard.
 	fwdDirty map[int]struct{}
+
+	// sh is the shard-aware ingestion state (see sharding.go); nil until
+	// AttachSharding.
+	sh *shardState
 
 	cache *PartitionCache
 
@@ -106,8 +111,13 @@ func (g *Dynamic) touch(v int) {
 // markFwdDirty records v as forward-inference dirty (see dirty.go). Only
 // mutations that change what Forward computes — features, incident edges,
 // degrees — call it; label-only writes (delayed supervision) do not, so a
-// step whose sole activity is truth reveal stays a quiet step.
+// step whose sole activity is truth reveal stays a quiet step. With a
+// sharding attached the mark is routed to the tracker of v's owning shard.
 func (g *Dynamic) markFwdDirty(v int) {
+	if g.sh != nil {
+		g.sh.dirty[g.sh.s.Of(v)][v] = struct{}{}
+		return
+	}
 	if g.fwdDirty != nil {
 		g.fwdDirty[v] = struct{}{}
 	}
@@ -124,6 +134,10 @@ func (g *Dynamic) AddNode(t NodeType, feat []float64) int {
 	g.label = append(g.label, math.NaN())
 	g.out = append(g.out, nil)
 	g.in = append(g.in, nil)
+	if g.sh != nil {
+		g.sh.occupancy[g.sh.s.Of(id)]++
+		g.sh.crossDeg = append(g.sh.crossDeg, 0)
+	}
 	g.touch(id)
 	g.markFwdDirty(id)
 	return id
@@ -143,6 +157,9 @@ func (g *Dynamic) AddLabeledEdge(u, v int, et EdgeType, ts int64, label float64)
 	g.checkNode(v)
 	g.out[u] = append(g.out[u], Edge{To: v, Type: et, Time: ts, Label: label})
 	g.in[v] = append(g.in[v], Edge{To: u, Type: et, Time: ts, Label: label})
+	if g.sh != nil {
+		g.sh.noteEdge(u, v, +1)
+	}
 	g.touch(u)
 	g.touch(v)
 	g.markFwdDirty(u)
@@ -231,9 +248,25 @@ func (g *Dynamic) ExpireEdgesBefore(ts int64) {
 		}
 		return es[:k], k != len(es)
 	}
+	// Out-edge expiry additionally maintains the shard boundary index; each
+	// directed edge is stored on both endpoints, so decrementing on the out
+	// side alone counts it exactly once.
+	filterOut := func(v int) ([]Edge, bool) {
+		es := g.out[v]
+		k := 0
+		for _, e := range es {
+			if e.Time >= ts {
+				es[k] = e
+				k++
+			} else if g.sh != nil {
+				g.sh.noteEdge(v, e.To, -1)
+			}
+		}
+		return es[:k], k != len(es)
+	}
 	for v := range g.out {
 		var co, ci bool
-		g.out[v], co = filter(g.out[v])
+		g.out[v], co = filterOut(v)
 		g.in[v], ci = filter(g.in[v])
 		if co || ci {
 			changed = true

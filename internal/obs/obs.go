@@ -158,6 +158,14 @@ func WriteIntValue(w io.Writer, name, labels string, value int64) {
 	fmt.Fprintf(w, "%s%s %d\n", name, labels, value)
 }
 
+// WriteIndexedIntValues emits one sample line per element of vals, labeled
+// label="i" — the shape of per-shard series (shard="0", shard="1", ...).
+func WriteIndexedIntValues(w io.Writer, name, label string, vals []int64) {
+	for i, v := range vals {
+		WriteIntValue(w, name, fmt.Sprintf("%s=%q", label, fmt.Sprint(i)), v)
+	}
+}
+
 // WriteHistogram emits the _bucket/_sum/_count series of a histogram
 // snapshot in Prometheus cumulative form. labels (may be empty) is merged
 // with the per-bucket le label.

@@ -122,6 +122,20 @@ func TestWriteHistogramPrometheus(t *testing.T) {
 	}
 }
 
+func TestWriteIndexedIntValues(t *testing.T) {
+	var b strings.Builder
+	WriteIndexedIntValues(&b, "shard_nodes", "shard", []int64{7, 0, 3})
+	want := "shard_nodes{shard=\"0\"} 7\nshard_nodes{shard=\"1\"} 0\nshard_nodes{shard=\"2\"} 3\n"
+	if b.String() != want {
+		t.Fatalf("got:\n%s\nwant:\n%s", b.String(), want)
+	}
+	b.Reset()
+	WriteIndexedIntValues(&b, "empty", "i", nil)
+	if b.String() != "" {
+		t.Fatalf("nil slice should emit nothing, got %q", b.String())
+	}
+}
+
 func TestWriteValueNoLabels(t *testing.T) {
 	var b strings.Builder
 	WriteIntValue(&b, "steps_total", "", 42)

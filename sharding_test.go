@@ -1,0 +1,247 @@
+package streamgnn
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// shardedPair builds an unsharded incremental engine and a sharded one over
+// the same stream config. Both take the incremental path on every non-trained
+// step (DirtyFullThreshold 1), so any divergence is the sharded fan-out's.
+func shardedPair(t *testing.T, base Config, shards int, layout string) (eFlat, eShard *Engine) {
+	t.Helper()
+	base.IncrementalForward = true
+	base.DirtyFullThreshold = 1
+
+	sh := base
+	sh.Shards = shards
+	sh.ShardLayout = layout
+
+	var err error
+	if eFlat, err = NewEngine(3, base); err != nil {
+		t.Fatal(err)
+	}
+	if eShard, err = NewEngine(3, sh); err != nil {
+		t.Fatal(err)
+	}
+	return eFlat, eShard
+}
+
+// runShardedEquality drives both engines through the incStream and asserts
+// bit-identical embeddings every step, then identical outcomes and metrics.
+func runShardedEquality(t *testing.T, eFlat, eShard *Engine, n, steps int) {
+	t.Helper()
+	d := incStream{n: n}
+	d.init(t, eFlat)
+	d.init(t, eShard)
+	for s := 0; s < steps; s++ {
+		d.mutate(eFlat, s)
+		d.mutate(eShard, s)
+		if err := eFlat.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if err := eShard.Step(); err != nil {
+			t.Fatal(err)
+		}
+		sameMatrix(t, s, eFlat.lastEmb.Data, eShard.lastEmb.Data)
+	}
+	o1, o2 := eFlat.Outcomes(), eShard.Outcomes()
+	if fmt.Sprintf("%+v", o1) != fmt.Sprintf("%+v", o2) {
+		t.Fatal("query outcomes diverged between shard widths")
+	}
+	m1, m2 := eFlat.Metrics(), eShard.Metrics()
+	if fmt.Sprintf("%+v", m1) != fmt.Sprintf("%+v", m2) {
+		t.Fatalf("metrics diverged between shard widths:\n  shards=1: %+v\n  sharded:  %+v", m1, m2)
+	}
+}
+
+// The tentpole guarantee of the sharded pipeline: a seeded 200-step run is
+// bit-identical at shards=1 and shards=4 — embeddings at every step, and the
+// query outcomes and metrics at the end. WinGNN is memoryless, so this also
+// composes with exact incremental inference; training every 25 steps makes
+// the equality survive cache invalidation and full-forward rebuilds.
+func TestShardedBitEquality200(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Model = "WinGNN"
+	cfg.Strategy = StrategyWeighted
+	cfg.Hidden = 8
+	cfg.Seed = 7
+	cfg.Interval = 25
+
+	const n, steps = 80, 200
+	eFlat, eShard := shardedPair(t, cfg, 4, "hash")
+	runShardedEquality(t, eFlat, eShard, n, steps)
+
+	tele := eShard.Telemetry()
+	if tele.Shards != 4 {
+		t.Fatalf("Telemetry.Shards = %d, want 4", tele.Shards)
+	}
+	var occ, rows int64
+	for _, v := range tele.ShardNodes {
+		occ += v
+	}
+	for _, v := range tele.ShardSplicedRows {
+		rows += v
+	}
+	if occ != n {
+		t.Fatalf("shard occupancy sums to %d, want %d", occ, n)
+	}
+	if rows == 0 {
+		t.Fatal("no rows spliced through the shard fan-out; test proved nothing")
+	}
+	if tele.CrossShardEdgeFraction <= 0 || tele.CrossShardEdgeFraction > 1 {
+		t.Fatalf("CrossShardEdgeFraction = %v, want in (0, 1]", tele.CrossShardEdgeFraction)
+	}
+	if tele.ShardMerge.Count == 0 {
+		t.Fatal("merge-phase histogram recorded nothing")
+	}
+	if flat := eFlat.Telemetry(); flat.Shards != 0 || flat.ShardNodes != nil {
+		t.Fatalf("unsharded engine reports shard telemetry: %+v", flat.Shards)
+	}
+}
+
+// The same equality for a recurrent model: TGCN's incremental forwards are
+// bounded-staleness, but the sharded fan-out must reproduce the unsharded
+// incremental run bit for bit — components are forwarded whole, so the
+// effective receptive field is identical at any shard width.
+func TestShardedBitEqualityRecurrent(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Model = "TGCN"
+	cfg.Strategy = StrategyWeighted
+	cfg.Hidden = 8
+	cfg.Seed = 11
+	cfg.Interval = 25
+
+	eFlat, eShard := shardedPair(t, cfg, 4, "hash")
+	runShardedEquality(t, eFlat, eShard, 60, 120)
+	if eShard.Telemetry().IncrementalForwards == 0 {
+		t.Fatal("incremental path never ran")
+	}
+}
+
+// The range layout partitions contiguous id blocks; equality must hold for
+// it exactly as for hash.
+func TestShardedBitEqualityRangeLayout(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Model = "WinGNN"
+	cfg.Strategy = StrategyWeighted
+	cfg.Hidden = 8
+	cfg.Seed = 5
+	cfg.Interval = 20
+
+	eFlat, eShard := shardedPair(t, cfg, 3, "range")
+	runShardedEquality(t, eFlat, eShard, 64, 60)
+}
+
+// Checkpoint/resume equality under sharding: the v5 checkpoint records the
+// partition, and a resumed sharded run must be indistinguishable from an
+// uninterrupted one.
+func TestCheckpointResumeEqualitySharded(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Strategy = StrategyWeighted
+	cfg.Hidden = 6
+	cfg.Interval = 3
+	cfg.IncrementalForward = true
+	cfg.DirtyFullThreshold = 1
+	cfg.Shards = 4
+	resumeEquality(t, cfg)
+}
+
+// A sharded checkpoint must not load into an engine with a different
+// partition (or none), and vice versa — silently adopting a different shard
+// width would change splice ordering guarantees mid-stream.
+func TestCheckpointRejectsShardMismatch(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Hidden = 8
+	cfg.Shards = 4
+	e1 := endToEnd(t, cfg, 4)
+	var buf bytes.Buffer
+	if err := e1.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	info, err := PeekCheckpoint(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Shards != 4 || info.ShardLayout != "hash" {
+		t.Fatalf("peek shards = %d/%q, want 4/hash", info.Shards, info.ShardLayout)
+	}
+
+	flat := cfg
+	flat.Shards = 0
+	eFlat, _ := NewEngine(3, flat)
+	if err := eFlat.LoadCheckpoint(bytes.NewReader(data)); err == nil {
+		t.Fatal("sharded checkpoint accepted by unsharded engine")
+	}
+
+	narrower := cfg
+	narrower.Shards = 2
+	eNarrow, _ := NewEngine(3, narrower)
+	if err := eNarrow.LoadCheckpoint(bytes.NewReader(data)); err == nil {
+		t.Fatal("shards=4 checkpoint accepted by shards=2 engine")
+	}
+
+	ranged := cfg
+	ranged.ShardLayout = "range"
+	eRange, _ := NewEngine(3, ranged)
+	if err := eRange.LoadCheckpoint(bytes.NewReader(data)); err == nil {
+		t.Fatal("hash-layout checkpoint accepted by range-layout engine")
+	}
+
+	same, _ := NewEngine(3, cfg)
+	const n = 12
+	for i := 0; i < n; i++ {
+		same.AddNode(0, []float64{float64(i % 2), 0, 1})
+	}
+	for i := 0; i < n; i++ {
+		same.AddUndirectedEdge(i, (i+1)%n, 0)
+	}
+	if err := same.LoadCheckpoint(bytes.NewReader(data)); err != nil {
+		t.Fatalf("matching partition rejected: %v", err)
+	}
+}
+
+func TestNewEngineShardValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Shards = -1
+	if _, err := NewEngine(3, cfg); err == nil {
+		t.Fatal("negative Shards accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Shards = 4
+	cfg.ShardLayout = "mod"
+	if _, err := NewEngine(3, cfg); err == nil {
+		t.Fatal("unknown ShardLayout accepted")
+	}
+}
+
+// Shards > 1 implies incremental forward inference: without a dirty-region
+// path there is nothing to fan out, so fill() switches it on.
+func TestShardsImplyIncrementalForward(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Model = "WinGNN"
+	cfg.Strategy = StrategyWeighted
+	cfg.Hidden = 8
+	cfg.Interval = 1000
+	cfg.Shards = 4
+	cfg.DirtyFullThreshold = 1
+
+	d := incStream{n: 30}
+	e, err := NewEngine(3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.init(t, e)
+	for s := 0; s < 6; s++ {
+		d.mutate(e, s)
+		if err := e.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Telemetry().IncrementalForwards == 0 {
+		t.Fatal("Shards=4 did not enable the incremental forward path")
+	}
+}

@@ -46,6 +46,7 @@ import (
 	"streamgnn/internal/metrics"
 	"streamgnn/internal/query"
 	"streamgnn/internal/rng"
+	"streamgnn/internal/shard"
 	"streamgnn/internal/tensor"
 )
 
@@ -150,6 +151,21 @@ type Config struct {
 	// process-wide setting untouched; negative means runtime.NumCPU().
 	// Distinct from Workers, which parallelizes whole training partitions.
 	KernelWorkers int
+
+	// Shards partitions the node-id space into this many shards and makes
+	// the streaming pipeline shard-aware end to end: ingestion routes dirty
+	// marks to per-shard trackers, incremental forwards fan the compute
+	// region out to one worker per shard (by connected component, so results
+	// are bit-identical to the unsharded path on seeded runs — see DESIGN.md
+	// §12), and a deterministic merge splices the per-shard rows back.
+	// 0 or 1 disables sharding; > 1 implies IncrementalForward. Negative is
+	// rejected.
+	Shards int
+	// ShardLayout selects how node ids map to shards: "hash" (default; a
+	// fixed 64-bit mixer, balanced but scatters id ranges) or "range"
+	// (blocks of consecutive ids round-robin across shards, keeping streams
+	// with id locality shard-local). Only meaningful with Shards > 1.
+	ShardLayout string
 }
 
 // DefaultConfig returns the paper's default configuration with the KDE
@@ -174,6 +190,11 @@ func (c Config) fill() (Config, core.Config) {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.Shards > 1 {
+		// The sharded pipeline is the incremental path's fan-out; a full
+		// forward has no per-shard structure to exploit.
+		c.IncrementalForward = true
 	}
 	cc := core.DefaultConfig()
 	if c.Chips > 0 {
@@ -322,7 +343,8 @@ type Engine struct {
 
 	step        int
 	lastEmb     *tensor.Matrix
-	emb         *dgnn.EmbStore // managed embedding cache (incremental mode)
+	emb         *dgnn.EmbStore  // managed embedding cache (incremental mode)
+	shards      *shard.Sharding // node-space partition; nil when Shards <= 1
 	mkScheduler func() (*core.Scheduler, error)
 	// pending is checkpoint state that can only be applied once the
 	// scheduler exists (it is created lazily at the first Step).
@@ -372,6 +394,13 @@ func NewEngine(featDim int, cfg Config) (*Engine, error) {
 	if cfg.DirtyFullThreshold < 0 {
 		return nil, fmt.Errorf("streamgnn: DirtyFullThreshold must be >= 0, got %g", cfg.DirtyFullThreshold)
 	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("streamgnn: Shards must be >= 0, got %d", cfg.Shards)
+	}
+	layout, err := shard.ParseLayout(cfg.ShardLayout)
+	if err != nil {
+		return nil, fmt.Errorf("streamgnn: %w", err)
+	}
 	// Buffer pooling is process-wide; the engine turns it on unless asked
 	// not to (metered allocation accounting is identical either way).
 	tensor.EnablePooling(!cfg.DisablePooling)
@@ -393,7 +422,14 @@ func NewEngine(featDim int, cfg Config) (*Engine, error) {
 	trainer := core.NewTrainer(g, model, wl, opt, ccfg, r)
 	e := &Engine{cfg: cfg, ccfg: ccfg, g: g, model: model, wl: wl,
 		trainer: trainer, opt: opt, src: src, emb: dgnn.NewEmbStore()}
-	e.tele.init()
+	if cfg.Shards > 1 {
+		e.shards, err = shard.New(cfg.Shards, layout)
+		if err != nil {
+			return nil, fmt.Errorf("streamgnn: %w", err)
+		}
+		g.AttachSharding(e.shards)
+	}
+	e.tele.init(cfg.Shards)
 	if cfg.IncrementalForward {
 		g.EnableDirtyTracking()
 	}
@@ -582,6 +618,14 @@ func (e *Engine) dirtyFullThreshold() float64 {
 // The incremental path falls back to a full forward when the cache is
 // invalid (first step, post-restore), a refresh is due, or the compute
 // region exceeds dirtyFullThreshold of the graph.
+//
+// With Shards > 1 the dirty drain, the exact/region expansion and the
+// fallback decision are unchanged — computed globally, so they cannot depend
+// on P — and only the region forward itself fans out: RegionParts groups the
+// region's connected components by owning shard, one worker forwards each
+// shard's part, and MergeShards splices the results in shard-index order.
+// Component isolation keeps every row bit-identical to the unsharded
+// computation; see DESIGN.md §12.
 func (e *Engine) runForward(t int) {
 	if !e.cfg.IncrementalForward {
 		tp := autodiff.NewTape()
@@ -626,11 +670,30 @@ func (e *Engine) runForward(t int) {
 		return
 	}
 
-	sub := e.g.Induced(region, region[0])
-	rows := dgnn.LocalRows(sub.Nodes, exact)
-	tp := autodiff.NewTape()
-	out := e.model.Forward(tp, dgnn.DirtyView(sub, rows)).Value
-	e.emb.Splice(out, rows, exact)
+	if e.shards != nil {
+		// Sharded fan-out: the exact/region sets and the fallback decision
+		// above were computed globally — identically to the unsharded path —
+		// so only the grouping of the work differs with P. RegionParts keeps
+		// connected components whole, making each shard's rows bit-identical
+		// to the same rows of the single-region forward; the merge then
+		// splices them in fixed shard-index order.
+		parts := e.g.RegionParts(region)
+		res := dgnn.ForwardShards(e.g, e.model, parts, exact)
+		mergeStart := time.Now()
+		dgnn.MergeShards(e.emb, res)
+		e.tele.shardMerge.ObserveSince(mergeStart)
+		for s := range res {
+			if res[s].Out != nil {
+				e.tele.shardRows[s].Add(int64(len(res[s].IDs)))
+			}
+		}
+	} else {
+		sub := e.g.Induced(region, region[0])
+		rows := dgnn.LocalRows(sub.Nodes, exact)
+		tp := autodiff.NewTape()
+		out := e.model.Forward(tp, dgnn.DirtyView(sub, rows)).Value
+		e.emb.Splice(out, rows, exact)
+	}
 	e.lastEmb = e.emb.Matrix()
 	e.tele.incForwards.Inc()
 	e.tele.skippedRows.Add(int64(n - len(region)))

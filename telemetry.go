@@ -46,14 +46,24 @@ type engineTelemetry struct {
 	incForwards  obs.Counter
 	skippedRows  obs.Counter
 	dirtyFrac    *obs.Histogram
+
+	// Sharded-pipeline instruments (nil/empty when Shards <= 1): the
+	// latency of the deterministic cross-shard merge phase and, per shard,
+	// the embedding rows its forwards contributed.
+	shardMerge *obs.Histogram
+	shardRows  []obs.Counter
 }
 
-func (t *engineTelemetry) init() {
+func (t *engineTelemetry) init(shards int) {
 	t.step = obs.NewHistogram(obs.DefaultLatencyBuckets())
 	for i := range t.phases {
 		t.phases[i] = obs.NewHistogram(obs.DefaultLatencyBuckets())
 	}
 	t.dirtyFrac = obs.NewHistogram(obs.FractionBuckets())
+	if shards > 1 {
+		t.shardMerge = obs.NewHistogram(obs.DefaultLatencyBuckets())
+		t.shardRows = make([]obs.Counter, shards)
+	}
 }
 
 // TelemetryHistogram is a latency distribution snapshot: per-bucket counts
@@ -102,10 +112,25 @@ type Telemetry struct {
 	// in incremental mode: 0 for quiet steps, 1 for fallback full forwards.
 	// Empty unless Config.IncrementalForward is set.
 	DirtyFraction TelemetryHistogram
+
+	// Sharded-pipeline fields, zero/nil unless Config.Shards > 1.
+	// Shards is the partition width P; ShardNodes the current node
+	// occupancy per shard; ShardSplicedRows the total embedding rows each
+	// shard's forwards contributed; CrossShardEdgeFraction the fraction of
+	// live edges whose endpoints live on different shards; ShardMerge the
+	// latency distribution of the cross-shard merge phase.
+	Shards                 int
+	ShardNodes             []int64
+	ShardSplicedRows       []int64
+	CrossShardEdgeFraction float64
+	ShardMerge             TelemetryHistogram
 }
 
 // Telemetry returns a snapshot of the engine's step and phase timings. Safe
-// to call concurrently with Step.
+// to call concurrently with Step, except for the shard occupancy and edge
+// counters: those ride the graph-mutation funnel unsynchronized, so when
+// Config.Shards > 1 take snapshots between Step calls (or under the same
+// lock as Step, as cmd/queryd does).
 func (e *Engine) Telemetry() Telemetry {
 	t := Telemetry{
 		Steps:               e.tele.steps.Value(),
@@ -118,6 +143,17 @@ func (e *Engine) Telemetry() Telemetry {
 	}
 	for i, name := range StepPhases() {
 		t.Phases[name] = histSnapshot(e.tele.phases[i])
+	}
+	if e.shards != nil {
+		st := e.g.ShardStats()
+		t.Shards = st.Shards
+		t.ShardNodes = st.Occupancy
+		t.CrossShardEdgeFraction = st.CrossFraction()
+		t.ShardSplicedRows = make([]int64, len(e.tele.shardRows))
+		for i := range e.tele.shardRows {
+			t.ShardSplicedRows[i] = e.tele.shardRows[i].Value()
+		}
+		t.ShardMerge = histSnapshot(e.tele.shardMerge)
 	}
 	return t
 }

@@ -4,7 +4,7 @@
 // wall-clock reads leak into computation.
 //
 // Three checks, scoped to the packages where the invariant holds
-// (internal/core, dgnn, graph, tensor, kde, sampling, query):
+// (internal/core, dgnn, graph, tensor, kde, sampling, query, shard):
 //
 //  1. A `range` over a map whose body feeds ordered computation — a
 //     floating-point accumulation into one variable, an RNG draw, or an
@@ -48,6 +48,7 @@ var scope = map[string]bool{
 	"streamgnn/internal/kde":      true,
 	"streamgnn/internal/sampling": true,
 	"streamgnn/internal/query":    true,
+	"streamgnn/internal/shard":    true,
 }
 
 const directive = "ordered-ok"
