@@ -17,10 +17,16 @@
 //
 // Admin endpoints (with -listen):
 //
-//	GET /healthz  liveness probe ("ok")
-//	GET /stats    JSON snapshot: progress, Stats, Metrics, Telemetry
-//	GET /metrics  Prometheus text format (step/phase latency histograms,
-//	              training and cache counters, workload quality gauges)
+//	GET  /healthz  liveness probe ("ok")
+//	GET  /stats    JSON snapshot: progress, Stats, Metrics, Telemetry
+//	GET  /metrics  Prometheus text format (step/phase latency histograms,
+//	               training and cache counters, workload quality gauges,
+//	               query-serving latency/batch-size/queue-depth)
+//	POST /query    batched predictive-query serving: a JSON batch of event /
+//	               link / density queries, answered against the latest
+//	               completed step's immutable snapshot through the
+//	               micro-batching admission queue (-batch-max / -batch-wait);
+//	               see README "Serving"
 package main
 
 import (
@@ -39,6 +45,8 @@ import (
 
 	"streamgnn"
 	"streamgnn/internal/obs"
+	"streamgnn/internal/query"
+	"streamgnn/internal/serve"
 	"streamgnn/internal/stream"
 	"streamgnn/internal/workload"
 )
@@ -63,6 +71,8 @@ func main() {
 	kernelWorkers := flag.Int("kernel-workers", 0, "tensor-kernel parallelism (0 = serial, negative = NumCPU)")
 	shards := flag.Int("shards", 0, "partition the node space into this many shards and fan incremental forwards out per shard (0/1 = unsharded; >1 implies -incremental; see DESIGN.md §12)")
 	shardLayout := flag.String("shard-layout", "hash", "node-to-shard layout with -shards: hash or range")
+	batchMax := flag.Int("batch-max", 64, "B: flush a /query micro-batch as soon as this many queries are pending")
+	batchWait := flag.Duration("batch-wait", 2*time.Millisecond, "T: flush a /query micro-batch this long after its first query")
 	flag.Parse()
 
 	opts := options{
@@ -73,6 +83,7 @@ func main() {
 		dirtyThreshold: *dirtyThreshold,
 		interval:       *interval, kernelWorkers: *kernelWorkers,
 		shards: *shards, shardLayout: *shardLayout,
+		batchMax: *batchMax, batchWait: *batchWait,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "queryd:", err)
@@ -97,6 +108,8 @@ type options struct {
 	kernelWorkers                   int
 	shards                          int
 	shardLayout                     string
+	batchMax                        int
+	batchWait                       time.Duration
 }
 
 func run(opts options) error {
@@ -191,6 +204,8 @@ func run(opts options) error {
 	}
 
 	srv := &server{eng: eng, dataset: ds.Name, started: time.Now()}
+	srv.batcher = serve.NewBatcher(serve.Config{MaxBatch: opts.batchMax, MaxWait: opts.batchWait}, srv.answerBatch)
+	defer srv.batcher.Close()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -290,6 +305,40 @@ type server struct {
 	dataset string
 	started time.Time
 	done    bool // replay finished
+
+	// batcher is the /query admission queue. Its answer path reads the
+	// engine's atomic serving snapshot, NOT mu: query batches score
+	// concurrently with the replay loop's Step. Only density queries take mu
+	// (they read the live graph and seed window).
+	batcher *serve.Batcher
+}
+
+// answerBatch answers one flushed micro-batch against the latest published
+// serving snapshot — lock-free with respect to the step loop. The KDE
+// seed-window density is evaluated at most once per batch, shared by every
+// density query in it.
+func (s *server) answerBatch(reqs []query.Request) []query.Answer {
+	snapshot := s.eng.QuerySnapshot()
+	if snapshot == nil {
+		out := make([]query.Answer, len(reqs))
+		for i := range out {
+			out[i] = query.Answer{Err: "no step completed yet"}
+		}
+		return out
+	}
+	var density []float64
+	for _, r := range reqs {
+		if r.Kind == query.KindDensity {
+			s.mu.Lock()
+			d, err := s.eng.SeedWindowDensity()
+			s.mu.Unlock()
+			if err == nil {
+				density = d
+			}
+			break
+		}
+	}
+	return snapshot.Answer(reqs, density)
 }
 
 // replay drives the engine until the stream ends or ctx is canceled. It
@@ -374,7 +423,49 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/query", s.handleQuery)
 	return mux
+}
+
+// queryRequest is the POST /query body.
+type queryRequest struct {
+	Queries []query.Request `json:"queries"`
+}
+
+// queryResponse is the POST /query reply: one answer per query, in request
+// order, plus the stream step of the snapshot that was current when the
+// response was assembled.
+type queryResponse struct {
+	Step    int            `json:"step"`
+	Answers []query.Answer `json:"answers"`
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a JSON query batch", http.StatusMethodNotAllowed)
+		return
+	}
+	var req queryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Queries) == 0 {
+		http.Error(w, `bad request: empty "queries"`, http.StatusBadRequest)
+		return
+	}
+	snapshot := s.eng.QuerySnapshot()
+	if snapshot == nil {
+		http.Error(w, "no step completed yet", http.StatusServiceUnavailable)
+		return
+	}
+	answers := s.batcher.Submit(req.Queries)
+	if answers == nil {
+		http.Error(w, "shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(queryResponse{Step: s.eng.QuerySnapshot().Step(), Answers: answers})
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -523,6 +614,23 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		obs.WriteHeader(&b, "streamgnn_link_auc", "AUC over link-prediction scores.", "gauge")
 		obs.WriteValue(&b, "streamgnn_link_auc", "", m.LinkAUC)
 	}
+
+	// Query-serving instruments. The batcher's counters are atomic, so this
+	// section deliberately runs outside mu — /metrics never blocks serving.
+	obs.WriteHeader(&b, "streamgnn_query_answered_total", "Queries answered through the admission queue.", "counter")
+	obs.WriteIntValue(&b, "streamgnn_query_answered_total", "", s.batcher.Queries())
+	obs.WriteHeader(&b, "streamgnn_query_batches_total", "Micro-batches flushed by the admission queue.", "counter")
+	obs.WriteIntValue(&b, "streamgnn_query_batches_total", "", s.batcher.Batches())
+	obs.WriteHeader(&b, "streamgnn_query_queue_depth", "Queries admitted but not yet answered.", "gauge")
+	obs.WriteIntValue(&b, "streamgnn_query_queue_depth", "", s.batcher.QueueDepth())
+	lat := s.batcher.LatencySnapshot()
+	obs.WriteHeader(&b, "streamgnn_query_latency_seconds", "Per-query admission-to-answer latency.", "histogram")
+	obs.WriteHistogram(&b, "streamgnn_query_latency_seconds", "", lat)
+	obs.WriteHeader(&b, "streamgnn_query_latency_quantile_seconds", "Estimated query-latency quantiles.", "gauge")
+	obs.WriteValue(&b, "streamgnn_query_latency_quantile_seconds", `q="0.5"`, lat.Quantile(0.5))
+	obs.WriteValue(&b, "streamgnn_query_latency_quantile_seconds", `q="0.99"`, lat.Quantile(0.99))
+	obs.WriteHeader(&b, "streamgnn_query_batch_size", "Flushed micro-batch sizes, in queries per batch.", "histogram")
+	obs.WriteHistogram(&b, "streamgnn_query_batch_size", "", s.batcher.BatchSizeSnapshot())
 
 	w.Write(b.Bytes())
 }

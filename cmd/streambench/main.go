@@ -4,6 +4,7 @@
 //	streambench -table 2 [-runs 10]   # Table II (link prediction)
 //	streambench -table 3 [-runs 10]   # Table III (parameter study)
 //	streambench -hotpath              # partition cache + parallel pairs
+//	streambench -qps                  # batched query serving under load
 //
 // Use -steps and -scale to trade fidelity for speed.
 package main
@@ -23,7 +24,13 @@ func main() {
 	table := flag.Int("table", 1, "which table to reproduce (1, 2 or 3), or 0 with -scaling")
 	scaling := flag.Bool("scaling", false, "run the scaling study instead of a table")
 	hotpath := flag.Bool("hotpath", false, "benchmark the adaptive hot path (cache + workers) instead of a table")
-	jsonOut := flag.String("json", "", "with -hotpath: also write the report as JSON to this file (e.g. BENCH_hotpath.json)")
+	jsonOut := flag.String("json", "", "with -hotpath/-qps: also write the report as JSON to this file (e.g. BENCH_hotpath.json)")
+	qps := flag.Bool("qps", false, "drive a query load against a live stream: rated-load QPS + latency percentiles through the micro-batching admission queue, ingestion-stall evidence, and a batched-vs-per-query saturation A/B")
+	qpsRate := flag.Float64("qps-rate", 2000, "with -qps: target query rate for the rated-load phase")
+	qpsBatch := flag.Int("qps-batch", 64, "with -qps: B, the micro-batch flush size (and the batched saturation call size)")
+	qpsClients := flag.Int("qps-clients", 4, "with -qps: concurrent closed-loop clients in the saturation phases")
+	qpsSeconds := flag.Float64("qps-seconds", 2, "with -qps: duration of each load phase")
+	qpsFloor := flag.Float64("qps-floor", 0, "with -qps: exit non-zero unless the batched saturation phase sustains at least this many qps (CI gate)")
 	runs := flag.Int("runs", 10, "repetitions per cell (the paper uses 10)")
 	steps := flag.Int("steps", 40, "stream steps per run")
 	scale := flag.Float64("scale", 1, "workload scale factor")
@@ -38,6 +45,35 @@ func main() {
 	}
 
 	var err error
+	if *qps {
+		fmt.Printf("QPS LOAD: batched predictive-query serving against a live stream (%.0fs phases)\n\n", *qpsSeconds)
+		rep, qerr := bench.RunQPS("TGCN", *qpsSeconds, *qpsRate, *qpsBatch, *qpsClients)
+		if qerr != nil {
+			fmt.Fprintln(os.Stderr, "streambench:", qerr)
+			os.Exit(1)
+		}
+		fmt.Print(rep.String())
+		if *jsonOut != "" {
+			data, jerr := json.MarshalIndent(rep, "", "  ")
+			if jerr == nil {
+				jerr = os.WriteFile(*jsonOut, append(data, '\n'), 0o644)
+			}
+			if jerr != nil {
+				fmt.Fprintln(os.Stderr, "streambench:", jerr)
+				os.Exit(1)
+			}
+			fmt.Printf("\nJSON report written to %s\n", *jsonOut)
+		}
+		if !rep.BatchedEqualsSerial {
+			fmt.Fprintln(os.Stderr, "streambench: batched answers differ from serial answers")
+			os.Exit(1)
+		}
+		if *qpsFloor > 0 && rep.BatchedQPS < *qpsFloor {
+			fmt.Fprintf(os.Stderr, "streambench: batched saturation %.0f qps is below the floor of %.0f qps\n", rep.BatchedQPS, *qpsFloor)
+			os.Exit(1)
+		}
+		return
+	}
 	if *hotpath {
 		fmt.Printf("HOT PATH: partition cache, parallel pairs and incremental forward (%d timed steps)\n\n", *steps)
 		rep, herr := bench.RunHotPath("Bitcoin", "TGCN", *steps, 1)

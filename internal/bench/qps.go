@@ -1,0 +1,306 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streamgnn"
+	"streamgnn/internal/query"
+	"streamgnn/internal/serve"
+)
+
+// QPSReport is the result of the -qps load mode: predictive-query serving
+// measured against a live synthetic stream. It captures the three claims the
+// batched serving path makes — sustained QPS under a rated load through the
+// micro-batching admission queue, no ingestion stall while serving (the step
+// loop and the serving readers share no lock), and a batched-vs-per-query
+// saturation A/B whose speedup is the work-sharing win of one stacked head
+// application over B scalar ones.
+type QPSReport struct {
+	Nodes        int
+	DirtyPerStep int
+	Model        string
+	BatchMax     int
+	Clients      int
+	MaxProcs     int
+
+	// Rated-load phase: single-query submissions through the admission
+	// queue at TargetQPS while the stream ingests. Latencies come from the
+	// batcher's per-query admission-to-answer histogram.
+	TargetQPS         float64
+	SustainedQPS      float64
+	P50LatencySeconds float64
+	P99LatencySeconds float64
+	MeanBatchSize     float64
+
+	// Ingestion-stall evidence: mean whole-step latency of the ingestion
+	// loop without serving load vs. under the rated load, and their ratio
+	// (~1.0 means serving does not stall the stream).
+	NoLoadStepSeconds float64
+	LoadedStepSeconds float64
+	StepTimeRatio     float64
+	NoLoadStepsPerSec float64
+	LoadedStepsPerSec float64
+
+	// Saturation A/B (closed loop, ingestion idle): queries/sec with each
+	// client answering 1 query per call vs. BatchMax queries per call.
+	PerQueryQPS float64
+	BatchedQPS  float64
+	Speedup     float64
+
+	// BatchedEqualsSerial reports whether a BatchMax-sized batch answered in
+	// one call was bit-identical to answering its queries one at a time.
+	BatchedEqualsSerial bool
+}
+
+// newQPSEngine builds the serving-load engine: the ring-plus-chords topology
+// of the other A/Bs, incremental forwards, and online training every 4th
+// step so the step loop exercises both the copy-on-write splice path and the
+// invalidate-then-full-forward path while queries are served.
+func newQPSEngine(model string, n int) (*streamgnn.Engine, error) {
+	cfg := streamgnn.DefaultConfig()
+	cfg.Model = model
+	cfg.Strategy = streamgnn.StrategyWeighted
+	cfg.Hidden = 16
+	cfg.Seed = 42
+	cfg.Interval = 4
+	cfg.IncrementalForward = true
+	cfg.DirtyFullThreshold = 1
+	e, err := streamgnn.NewEngine(8, cfg)
+	if err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < n; i++ {
+		f := make([]float64, 8)
+		f[i%8] = 1
+		e.AddNode(0, f)
+	}
+	for i := 0; i < n; i++ {
+		e.AddUndirectedEdge(i, (i+1)%n, 0)
+	}
+	for i := 0; i < n/50; i++ {
+		e.AddUndirectedEdge(r.Intn(n), r.Intn(n), 0)
+	}
+	return e, nil
+}
+
+// qpsRequests builds a deterministic mixed batch of event and link queries
+// over n nodes.
+func qpsRequests(r *rand.Rand, n, count int) []query.Request {
+	reqs := make([]query.Request, count)
+	for i := range reqs {
+		if r.Intn(2) == 0 {
+			reqs[i] = query.Request{Kind: query.KindEvent, Anchor: r.Intn(n)}
+		} else {
+			reqs[i] = query.Request{Kind: query.KindLink, Src: r.Intn(n), Dst: r.Intn(n)}
+		}
+	}
+	return reqs
+}
+
+// stepMeans extracts mean step latency and steps/sec from a telemetry delta.
+func stepMeans(before, after streamgnn.Telemetry, wall float64) (mean, perSec float64) {
+	dc := after.Step.Count - before.Step.Count
+	if dc > 0 {
+		mean = (after.Step.Sum - before.Step.Sum) / float64(dc)
+	}
+	if wall > 0 {
+		perSec = float64(dc) / wall
+	}
+	return mean, perSec
+}
+
+// RunQPS runs the -qps load mode: an ingestion goroutine steps the engine
+// continuously (mutating `dirty` nodes per step) while serving phases run
+// against its published snapshots. Each phase lasts `seconds`.
+func RunQPS(model string, seconds, targetQPS float64, batchMax, clients int) (QPSReport, error) {
+	const n = 4000
+	dirty := n / 50
+	rep := QPSReport{Nodes: n, DirtyPerStep: dirty, Model: model,
+		BatchMax: batchMax, Clients: clients, TargetQPS: targetQPS,
+		MaxProcs: runtime.GOMAXPROCS(0)}
+	d := time.Duration(seconds * float64(time.Second))
+
+	e, err := newQPSEngine(model, n)
+	if err != nil {
+		return rep, err
+	}
+	stepIdx := 0
+	for ; stepIdx < 8; stepIdx++ { // warmup: settle caches, train twice
+		mutateSparse(e, n, dirty, stepIdx)
+		if err := e.Step(); err != nil {
+			return rep, err
+		}
+	}
+	runtime.GC()
+
+	// Ingestion loop: the ONLY goroutine that mutates the graph or steps the
+	// engine. Serving readers touch nothing but the atomic QuerySnapshot, so
+	// no lock is shared with it.
+	var stepErr error
+	ingest := func(until time.Duration) func() {
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			deadline := time.Now().Add(until)
+			for time.Now().Before(deadline) {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				mutateSparse(e, n, dirty, stepIdx)
+				if err := e.Step(); err != nil {
+					stepErr = err
+					return
+				}
+				stepIdx++
+			}
+		}()
+		return func() { close(stop); wg.Wait() }
+	}
+
+	// Phase 1 — no-load baseline: ingestion alone.
+	tel0 := e.Telemetry()
+	start := time.Now()
+	stopIngest := ingest(d)
+	time.Sleep(d)
+	stopIngest()
+	if stepErr != nil {
+		return rep, stepErr
+	}
+	rep.NoLoadStepSeconds, rep.NoLoadStepsPerSec = stepMeans(tel0, e.Telemetry(), time.Since(start).Seconds())
+
+	// Phase 2 — rated load: single-query submissions through the admission
+	// queue at targetQPS while ingestion continues. Submissions arrive in
+	// small paced bursts of independent queries; the batcher's B/T knobs do
+	// all the coalescing.
+	batcher := serve.NewBatcher(serve.Config{MaxBatch: batchMax, MaxWait: 2 * time.Millisecond},
+		func(reqs []query.Request) []query.Answer {
+			return e.QuerySnapshot().Answer(reqs, nil)
+		})
+	pool := qpsRequests(rand.New(rand.NewSource(33)), n, 1024)
+	const tickHz = 200
+	tel1 := e.Telemetry()
+	start = time.Now()
+	stopIngest = ingest(d + time.Second)
+	var answered atomic.Int64
+	var subWG sync.WaitGroup
+	// Deficit-based pacing: each wakeup submits however many queries the
+	// target rate says are due, so coalesced ticks (the scheduler is busy
+	// stepping the engine) catch up in a burst instead of silently slipping
+	// the rate.
+	tick := time.NewTicker(time.Second / tickHz)
+	sent := 0
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		<-tick.C
+		due := int(time.Since(start).Seconds() * targetQPS)
+		for ; sent < due; sent++ {
+			rq := pool[sent%len(pool)]
+			subWG.Add(1)
+			go func(rq query.Request) {
+				defer subWG.Done()
+				if batcher.Submit([]query.Request{rq}) != nil {
+					answered.Add(1)
+				}
+			}(rq)
+		}
+	}
+	tick.Stop()
+	subWG.Wait()
+	loadWall := time.Since(start).Seconds()
+	stopIngest()
+	if stepErr != nil {
+		return rep, stepErr
+	}
+	rep.LoadedStepSeconds, rep.LoadedStepsPerSec = stepMeans(tel1, e.Telemetry(), loadWall)
+	rep.SustainedQPS = float64(answered.Load()) / loadWall
+	lat := batcher.LatencySnapshot()
+	rep.P50LatencySeconds = lat.Quantile(0.5)
+	rep.P99LatencySeconds = lat.Quantile(0.99)
+	if b := batcher.Batches(); b > 0 {
+		rep.MeanBatchSize = float64(batcher.Queries()) / float64(b)
+	}
+	batcher.Close()
+	if rep.NoLoadStepSeconds > 0 {
+		rep.StepTimeRatio = rep.LoadedStepSeconds / rep.NoLoadStepSeconds
+	}
+
+	// Determinism: a BatchMax-sized batch answered in one call must be
+	// bit-identical to answering each of its queries alone.
+	snap := e.QuerySnapshot()
+	detReqs := qpsRequests(rand.New(rand.NewSource(11)), snap.Rows(), batchMax)
+	batched := snap.Answer(detReqs, nil)
+	rep.BatchedEqualsSerial = true
+	for i, rq := range detReqs {
+		if snap.Answer([]query.Request{rq}, nil)[0] != batched[i] {
+			rep.BatchedEqualsSerial = false
+			break
+		}
+	}
+
+	// Phases 3/4 — saturation A/B with ingestion idle: closed-loop clients
+	// driving the same admission queue, one query per request (per-query
+	// serving, B=1) vs. BatchMax queries per request (batched serving). The
+	// ratio is the work-sharing win: one admission and one stacked head
+	// application per batch, against per-query admissions and scalar applies.
+	saturate := func(perCall, maxBatch int) float64 {
+		b := serve.NewBatcher(serve.Config{MaxBatch: maxBatch, MaxWait: 2 * time.Millisecond},
+			func(reqs []query.Request) []query.Answer {
+				return e.QuerySnapshot().Answer(reqs, nil)
+			})
+		var total atomic.Int64
+		var wg sync.WaitGroup
+		deadline := time.Now().Add(d)
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				reqs := qpsRequests(rand.New(rand.NewSource(int64(100+c))), n, perCall)
+				for time.Now().Before(deadline) {
+					if b.Submit(reqs) != nil {
+						total.Add(int64(perCall))
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		qps := float64(total.Load()) / time.Since(start).Seconds()
+		b.Close()
+		return qps
+	}
+	rep.PerQueryQPS = saturate(1, 1)
+	runtime.GC()
+	rep.BatchedQPS = saturate(batchMax, batchMax)
+	if rep.PerQueryQPS > 0 {
+		rep.Speedup = rep.BatchedQPS / rep.PerQueryQPS
+	}
+	return rep, nil
+}
+
+// String renders the report for the streambench output.
+func (r QPSReport) String() string {
+	eq := "bit-identical"
+	if !r.BatchedEqualsSerial {
+		eq = "MISMATCH"
+	}
+	return fmt.Sprintf(
+		"QPS load (%s, %d nodes, %d dirty/step, B=%d, %d clients, GOMAXPROCS=%d)\n"+
+			"  rated load  %.0f qps target: %.0f qps sustained, p50 %.3fms, p99 %.3fms, mean batch %.1f\n"+
+			"  ingestion   %.2fms/step no-load vs %.2fms/step loaded (ratio %.2f; %.1f vs %.1f st/s)\n"+
+			"  saturation  per-query %.0f qps vs batched %.0f qps (%.1fx, answers %s)\n",
+		r.Model, r.Nodes, r.DirtyPerStep, r.BatchMax, r.Clients, r.MaxProcs,
+		r.TargetQPS, r.SustainedQPS, r.P50LatencySeconds*1e3, r.P99LatencySeconds*1e3, r.MeanBatchSize,
+		r.NoLoadStepSeconds*1e3, r.LoadedStepSeconds*1e3, r.StepTimeRatio,
+		r.NoLoadStepsPerSec, r.LoadedStepsPerSec,
+		r.PerQueryQPS, r.BatchedQPS, r.Speedup, eq)
+}

@@ -1,0 +1,124 @@
+package dgnn
+
+import (
+	"sync"
+	"testing"
+
+	"streamgnn/internal/tensor"
+)
+
+func filled(rows, cols int, base float64) *tensor.Matrix {
+	m := tensor.New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = base + float64(i)
+	}
+	return m
+}
+
+func TestEmbStorePublishCopyOnWrite(t *testing.T) {
+	s := NewEmbStore()
+	if s.Publish() != nil {
+		t.Fatal("invalid store should publish nil")
+	}
+	s.SetFull(filled(3, 2, 0), 1)
+
+	snap := s.Publish()
+	if snap != s.Matrix() {
+		t.Fatal("publish should hand out the live matrix, not a copy")
+	}
+	want := append([]float64(nil), snap.Data...)
+
+	// An in-place splice after publication must clone: the snapshot keeps its
+	// bits, the store diverges.
+	patch := filled(1, 2, 100)
+	s.Splice(patch, []int{0}, []int{1})
+	if s.Matrix() == snap {
+		t.Fatal("splice did not copy-on-write the published matrix")
+	}
+	for i, v := range want {
+		if snap.Data[i] != v {
+			t.Fatalf("published snapshot mutated at %d: %v != %v", i, snap.Data[i], v)
+		}
+	}
+	if s.Matrix().At(1, 0) != 100 || s.Matrix().At(1, 1) != 101 {
+		t.Fatalf("store row not spliced: %v", s.Matrix().Row(1))
+	}
+
+	// Only one clone per published matrix: a second splice stays in place.
+	private := s.Matrix()
+	s.Splice(filled(1, 2, 200), []int{0}, []int{0})
+	if s.Matrix() != private {
+		t.Fatal("unpublished matrix was cloned needlessly")
+	}
+
+	// Growth replaces the matrix, so a published snapshot survives it too.
+	snap2 := s.Publish()
+	grown := append([]float64(nil), snap2.Data...)
+	s.Splice(filled(1, 2, 300), []int{0}, []int{5})
+	if s.Rows() != 6 || s.Matrix() == snap2 {
+		t.Fatalf("grow kept the published matrix (rows=%d)", s.Rows())
+	}
+	for i, v := range grown {
+		if snap2.Data[i] != v {
+			t.Fatalf("snapshot mutated by grow at %d", i)
+		}
+	}
+
+	// Invalidate and SetFull drop the matrix without touching the snapshot.
+	snap3 := s.Publish()
+	s.Invalidate()
+	if s.Publish() != nil {
+		t.Fatal("invalidated store should publish nil")
+	}
+	s.SetFull(filled(2, 2, 400), 9)
+	if s.Matrix() == snap3 {
+		t.Fatal("SetFull reused the published matrix")
+	}
+}
+
+// A reader holding a published snapshot must see bit-identical rows no matter
+// how the store is spliced, grown, invalidated or refilled concurrently. Run
+// with -race: any write to the published matrix is a data race.
+func TestEmbStoreSnapshotConcurrentWriters(t *testing.T) {
+	s := NewEmbStore()
+	s.SetFull(filled(32, 4, 0), 0)
+	snap := s.Publish()
+	want := append([]float64(nil), snap.Data...)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // reader: continuously verify the held snapshot
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for i, v := range want {
+				if snap.Data[i] != v {
+					t.Errorf("snapshot bits changed at %d: %v != %v", i, snap.Data[i], v)
+					return
+				}
+			}
+		}
+	}()
+
+	patch := filled(2, 4, 1000)
+	for iter := 0; iter < 2000; iter++ {
+		switch iter % 40 {
+		case 38:
+			s.Invalidate()
+		case 39:
+			s.SetFull(filled(32, 4, float64(iter)), iter)
+		default:
+			if s.Valid() {
+				s.Publish() // republish every step, like the engine does
+				s.Splice(patch, []int{0, 1}, []int{iter % 30, iter%30 + 1})
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

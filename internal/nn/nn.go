@@ -49,6 +49,17 @@ func (l *Linear) Apply(tp *autodiff.Tape, x *autodiff.Node) *autodiff.Node {
 // Params implements Module.
 func (l *Linear) Params() []*autodiff.Node { return []*autodiff.Node{l.W, l.B} }
 
+// Clone returns a deep value copy of the layer with fresh parameter nodes,
+// detached from any optimizer state or tape.
+func (l *Linear) Clone() *Linear {
+	return &Linear{
+		W:   autodiff.Param(l.W.Value.Clone()),
+		B:   autodiff.Param(l.B.Value.Clone()),
+		in:  l.in,
+		out: l.out,
+	}
+}
+
 // In returns the input dimension.
 func (l *Linear) In() int { return l.in }
 
@@ -163,3 +174,14 @@ func (m *MLP) Params() []*autodiff.Node {
 
 // Out returns the output dimension.
 func (m *MLP) Out() int { return m.layers[len(m.layers)-1].out }
+
+// Clone returns a deep value copy of the MLP: same widths, independent
+// parameter matrices. Cloned heads let serving snapshots score concurrently
+// while training keeps updating the originals in place.
+func (m *MLP) Clone() *MLP {
+	c := &MLP{layers: make([]*Linear, len(m.layers))}
+	for i, l := range m.layers {
+		c.layers[i] = l.Clone()
+	}
+	return c
+}

@@ -55,6 +55,19 @@ func FractionBuckets() []float64 {
 	return bounds
 }
 
+// BatchSizeBuckets returns histogram bounds for micro-batch sizes: doubling
+// integer bounds 1, 2, 4, ... 1024. Sizes above the last bound land in the
+// implicit +Inf bucket.
+func BatchSizeBuckets() []float64 {
+	bounds := make([]float64, 11)
+	b := 1.0
+	for i := range bounds {
+		bounds[i] = b
+		b *= 2
+	}
+	return bounds
+}
+
 // Histogram is a fixed-bucket latency histogram. Observations are recorded
 // with atomic adds only (one bucket increment, one count increment, one CAS
 // loop for the float sum), so it is safe and cheap to call from concurrent
@@ -132,6 +145,47 @@ func (s Snapshot) Mean() float64 {
 		return 0
 	}
 	return s.Sum / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) of the observations from
+// the bucket counts, interpolating linearly inside the landing bucket (from
+// 0 for the first bucket). Observations in the +Inf bucket are reported as
+// the last finite bound. Returns 0 before any observation. The estimate's
+// resolution is the bucket width — good enough for p50/p99 latency
+// reporting, which is what it exists for.
+func (s Snapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for i, c := range s.Counts {
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if float64(cum+c) >= rank {
+			if i >= len(s.Bounds) {
+				return s.Bounds[len(s.Bounds)-1]
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = s.Bounds[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + frac*(s.Bounds[i]-lower)
+		}
+		cum += c
+	}
+	return s.Bounds[len(s.Bounds)-1]
 }
 
 // ---- Prometheus text exposition format ----

@@ -1,0 +1,42 @@
+package obs
+
+import "testing"
+
+func TestSnapshotQuantile(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 40})
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+	// One observation in the first bucket, two in the second, one overflow.
+	for _, v := range []float64{5, 15, 15, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// rank 2 lands halfway through the (10, 20] bucket.
+	if got := s.Quantile(0.5); got != 15 {
+		t.Fatalf("p50 = %v, want 15", got)
+	}
+	// The +Inf bucket is reported as the last finite bound.
+	if got := s.Quantile(1); got != 40 {
+		t.Fatalf("p100 = %v, want 40", got)
+	}
+	// Out-of-range q is clamped.
+	if got := s.Quantile(2); got != 40 {
+		t.Fatalf("clamped q>1 = %v, want 40", got)
+	}
+	if got := s.Quantile(-1); got != 0 {
+		t.Fatalf("clamped q<0 = %v, want 0", got)
+	}
+}
+
+func TestBatchSizeBuckets(t *testing.T) {
+	b := BatchSizeBuckets()
+	if len(b) != 11 || b[0] != 1 || b[10] != 1024 {
+		t.Fatalf("BatchSizeBuckets = %v", b)
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] != 2*b[i-1] {
+			t.Fatalf("bounds not doubling: %v", b)
+		}
+	}
+}

@@ -3,7 +3,6 @@ package query
 import (
 	"math/rand"
 
-	"streamgnn/internal/autodiff"
 	"streamgnn/internal/graph"
 	"streamgnn/internal/metrics"
 	"streamgnn/internal/rng"
@@ -72,18 +71,6 @@ func (l *LinkPredTask) observeEmbeddings(emb *tensor.Matrix, step int) {
 	l.lastStep = step
 }
 
-func (l *LinkPredTask) pairInput(u, v int) []float64 {
-	ru := tensor.GatherRows(l.lastEmb, []int{u})
-	rv := tensor.GatherRows(l.lastEmb, []int{v})
-	return tensor.ConcatCols(tensor.ConcatCols(ru, rv), tensor.Mul(ru, rv)).Data
-}
-
-func (l *LinkPredTask) pairScore(h *Heads, u, v int) float64 {
-	in := autodiff.Constant(tensor.FromSlice(1, 3*l.lastEmb.Cols, l.pairInput(u, v)))
-	tp := autodiff.NewTape()
-	return h.Link.Apply(tp, in).Value.Data[0]
-}
-
 // reveal evaluates last step's predictions against the edges that actually
 // arrived at `step` and refreshes the supervision pair set.
 func (l *LinkPredTask) reveal(g *graph.Dynamic, step int, h *Heads) {
@@ -110,32 +97,54 @@ func (l *LinkPredTask) reveal(g *graph.Dynamic, step int, h *Heads) {
 	if len(pos) == 0 {
 		return
 	}
+	// Collect every pair to score — each positive, its accuracy/supervision
+	// negatives, then its MRR rank candidates — drawing the random endpoints
+	// in exactly the order per-pair scoring drew them, so the RNG stream
+	// (and therefore checkpoints and repeat runs) is unchanged. All pairs
+	// then go through one stacked link-head application instead of
+	// len(pos)*(1+NegPerPos+RankNegs) scalar pairScore calls.
+	group := 1 + l.NegPerPos + l.RankNegs
+	src := make([]int, 0, len(pos)*group)
+	dst := make([]int, 0, len(pos)*group)
+	for _, p := range pos {
+		src = append(src, p.U)
+		dst = append(dst, p.V)
+		for k := 0; k < l.NegPerPos; k++ {
+			src = append(src, p.U)
+			dst = append(dst, l.rng.Intn(n))
+		}
+		for k := 0; k < l.RankNegs; k++ {
+			src = append(src, p.U)
+			dst = append(dst, l.rng.Intn(n))
+		}
+	}
+	in := PairInputRows(l.lastEmb, src, dst)
+	scores := headColumn(h.Link, in)
+	pairRow := func(i int) []float64 { return append([]float64(nil), in.Row(i)...) }
+
 	l.recentPairs = l.recentPairs[:0]
 	l.replayEmb = l.replayEmb[:0]
 	l.replayLabels = l.replayLabels[:0]
-	for _, p := range pos {
-		s := l.pairScore(h, p.U, p.V)
+	for j, p := range pos {
+		base := j * group
+		s := scores[base]
 		l.scores = append(l.scores, s)
 		l.labels = append(l.labels, true)
 		l.recentPairs = append(l.recentPairs, p)
-		l.replayEmb = append(l.replayEmb, l.pairInput(p.U, p.V))
+		l.replayEmb = append(l.replayEmb, pairRow(base))
 		l.replayLabels = append(l.replayLabels, 1)
 		// Sampled negatives for accuracy/AUC and supervision.
 		for k := 0; k < l.NegPerPos; k++ {
-			v := l.rng.Intn(n)
-			neg := Pair{U: p.U, V: v, Label: 0}
-			l.scores = append(l.scores, l.pairScore(h, neg.U, neg.V))
+			i := base + 1 + k
+			neg := Pair{U: p.U, V: dst[i], Label: 0}
+			l.scores = append(l.scores, scores[i])
 			l.labels = append(l.labels, false)
 			l.recentPairs = append(l.recentPairs, neg)
-			l.replayEmb = append(l.replayEmb, l.pairInput(neg.U, neg.V))
+			l.replayEmb = append(l.replayEmb, pairRow(i))
 			l.replayLabels = append(l.replayLabels, 0)
 		}
-		// Rank of the true endpoint among RankNegs random candidates.
-		negScores := make([]float64, 0, l.RankNegs)
-		for k := 0; k < l.RankNegs; k++ {
-			negScores = append(negScores, l.pairScore(h, p.U, l.rng.Intn(n)))
-		}
-		l.ranks = append(l.ranks, metrics.RankOf(s, negScores))
+		// Rank of the true endpoint among its RankNegs candidates.
+		l.ranks = append(l.ranks, metrics.RankOf(s, scores[base+1+l.NegPerPos:base+group]))
 	}
 }
 

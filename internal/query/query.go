@@ -161,19 +161,35 @@ func (w *Workload) LinkTask() *LinkPredTask { return w.link }
 // embedding matrix (value-only; no gradients). Predictions for step t+δ are
 // parked until Reveal(t+δ).
 func (w *Workload) Predict(emb *tensor.Matrix, step int) {
+	// Collect every (query, anchor) slot, then score all anchors through one
+	// stacked event-head application — the same batched path AnswerBatch
+	// serves ad-hoc queries with, so per-step prediction and serving share
+	// one code path (and bit-identical scores).
+	type slot struct {
+		q      *EventQuery
+		anchor int
+	}
+	var slots []slot
+	var anchors []int
 	for _, q := range w.queries {
 		for _, a := range q.Anchors {
 			if a >= emb.Rows {
 				continue // anchor node not in the graph yet
 			}
-			tp := autodiff.NewTape()
-			row := tensor.GatherRows(emb, []int{a})
-			in := autodiff.Constant(row)
-			score := w.heads.Event.Apply(tp, in).Value.Data[0]
-			due := step + q.Delta
-			w.pending[due] = append(w.pending[due], pendingPred{q: q, anchor: a, score: score, emb: row.Data})
-			if score > q.Threshold {
-				w.alerts = append(w.alerts, Alert{Query: q.Name, Anchor: a, ForStep: due, Score: score})
+			slots = append(slots, slot{q: q, anchor: a})
+			anchors = append(anchors, a)
+		}
+	}
+	if len(slots) > 0 {
+		rows := tensor.GatherRows(emb, anchors)
+		scores := headColumn(w.heads.Event, rows)
+		for i, s := range slots {
+			score := scores[i]
+			due := step + s.q.Delta
+			row := append([]float64(nil), rows.Row(i)...)
+			w.pending[due] = append(w.pending[due], pendingPred{q: s.q, anchor: s.anchor, score: score, emb: row})
+			if score > s.q.Threshold {
+				w.alerts = append(w.alerts, Alert{Query: s.q.Name, Anchor: s.anchor, ForStep: due, Score: score})
 			}
 		}
 	}

@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"streamgnn/internal/query"
+)
+
+// echoAnswerer answers each request with its anchor as the score, so tests
+// can verify that every submitter got exactly its own slice back.
+func echoAnswerer(reqs []query.Request) []query.Answer {
+	answers := make([]query.Answer, len(reqs))
+	for i, r := range reqs {
+		answers[i] = query.Answer{Score: float64(r.Anchor), OK: true}
+	}
+	return answers
+}
+
+func eventReq(anchor int) query.Request {
+	return query.Request{Kind: query.KindEvent, Anchor: anchor}
+}
+
+func TestFlushOnBatchSize(t *testing.T) {
+	// MaxWait is effectively infinite: only the size trigger can flush, so
+	// the four single-query submissions must coalesce into exactly one batch.
+	b := NewBatcher(Config{MaxBatch: 4, MaxWait: time.Hour}, echoAnswerer)
+	defer b.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got := b.Submit([]query.Request{eventReq(i)})
+			if len(got) != 1 || got[0].Score != float64(i) {
+				t.Errorf("submitter %d got %+v", i, got)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if b.Batches() != 1 || b.Queries() != 4 {
+		t.Fatalf("batches=%d queries=%d, want 1 and 4", b.Batches(), b.Queries())
+	}
+	if b.QueueDepth() != 0 {
+		t.Fatalf("queue depth %d after drain", b.QueueDepth())
+	}
+	if s := b.BatchSizeSnapshot(); s.Count != 1 || s.Sum != 4 {
+		t.Fatalf("batch-size histogram count=%d sum=%v", s.Count, s.Sum)
+	}
+	if s := b.LatencySnapshot(); s.Count != 4 {
+		t.Fatalf("latency histogram count=%d, want 4", s.Count)
+	}
+}
+
+func TestFlushOnTimer(t *testing.T) {
+	// The batch never reaches MaxBatch, so only the T trigger can flush it.
+	b := NewBatcher(Config{MaxBatch: 1 << 20, MaxWait: 5 * time.Millisecond}, echoAnswerer)
+	defer b.Close()
+	got := b.Submit([]query.Request{eventReq(3), eventReq(9)})
+	if len(got) != 2 || got[0].Score != 3 || got[1].Score != 9 {
+		t.Fatalf("timer flush answers = %+v", got)
+	}
+	if b.Batches() != 1 {
+		t.Fatalf("batches = %d, want 1", b.Batches())
+	}
+}
+
+func TestAnswersKeepSubmissionOrder(t *testing.T) {
+	b := NewBatcher(Config{MaxBatch: 8, MaxWait: time.Millisecond}, echoAnswerer)
+	defer b.Close()
+	reqs := []query.Request{eventReq(5), eventReq(1), eventReq(8)}
+	got := b.Submit(reqs)
+	if len(got) != len(reqs) {
+		t.Fatalf("answers len %d", len(got))
+	}
+	for i, r := range reqs {
+		if got[i].Score != float64(r.Anchor) {
+			t.Fatalf("answer %d = %+v, want score %d", i, got[i], r.Anchor)
+		}
+	}
+}
+
+func TestConcurrentSubmitters(t *testing.T) {
+	b := NewBatcher(Config{MaxBatch: 8, MaxWait: 100 * time.Microsecond}, echoAnswerer)
+	const clients, perClient = 8, 40
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				id := c*perClient + i
+				reqs := []query.Request{eventReq(id), eventReq(id + 1)}
+				got := b.Submit(reqs)
+				if len(got) != 2 || got[0].Score != float64(id) || got[1].Score != float64(id+1) {
+					t.Errorf("client %d submit %d got %+v", c, i, got)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	b.Close()
+	if want := int64(clients * perClient * 2); b.Queries() != want {
+		t.Fatalf("queries = %d, want %d", b.Queries(), want)
+	}
+	if b.QueueDepth() != 0 {
+		t.Fatalf("queue depth %d after close", b.QueueDepth())
+	}
+	// Coalescing happened at all: fewer batches than submissions.
+	if b.Batches() >= int64(clients*perClient) {
+		t.Fatalf("no coalescing: %d batches for %d submissions", b.Batches(), clients*perClient)
+	}
+}
+
+func TestCloseFlushesPendingAndRejectsNew(t *testing.T) {
+	b := NewBatcher(Config{MaxBatch: 1 << 20, MaxWait: time.Hour}, echoAnswerer)
+	done := make(chan []query.Answer, 1)
+	go func() { done <- b.Submit([]query.Request{eventReq(7)}) }()
+	// Wait for the submission to be admitted, then close: the straggler must
+	// be flushed, not dropped.
+	for b.QueueDepth() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	b.Close()
+	if got := <-done; len(got) != 1 || got[0].Score != 7 {
+		t.Fatalf("straggler answer = %+v", got)
+	}
+	if got := b.Submit([]query.Request{eventReq(1)}); got != nil {
+		t.Fatalf("submit after close = %+v, want nil", got)
+	}
+	b.Close() // idempotent
+}
+
+func TestEmptySubmitAndShortAnswerer(t *testing.T) {
+	b := NewBatcher(Config{}, echoAnswerer)
+	if got := b.Submit(nil); got != nil {
+		t.Fatalf("empty submit = %+v", got)
+	}
+	b.Close()
+	// An answerer returning too few answers must yield nil, not panic.
+	short := NewBatcher(Config{MaxBatch: 1}, func(reqs []query.Request) []query.Answer { return nil })
+	defer short.Close()
+	if got := short.Submit([]query.Request{eventReq(0)}); got != nil {
+		t.Fatalf("short answerer = %+v, want nil", got)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.fill()
+	if c.MaxBatch != 64 || c.MaxWait != 2*time.Millisecond {
+		t.Fatalf("defaults = %+v", c)
+	}
+}

@@ -1,0 +1,109 @@
+package streamgnn
+
+import (
+	"fmt"
+
+	"streamgnn/internal/core"
+	"streamgnn/internal/kde"
+	"streamgnn/internal/query"
+	"streamgnn/internal/tensor"
+)
+
+// This file is the engine side of batched query serving: at the end of every
+// Step the engine publishes an immutable QuerySnapshot — the step's embedding
+// matrix (copy-on-write, via EmbStore.Publish) plus a value clone of the
+// prediction heads — through an atomic pointer. Any number of serving
+// goroutines then answer query batches against the snapshot with zero locks
+// while the step loop keeps ingesting and training; the snapshot's matrix and
+// heads are never mutated after publication, so readers see bit-identical
+// rows for as long as they hold it. See DESIGN.md §13.
+
+// QuerySnapshot is an immutable view of the engine's serving state as of one
+// completed step. Snapshots are safe for concurrent use and stay valid (and
+// bit-stable) after the engine moves on; holding one only pins its matrix in
+// memory.
+type QuerySnapshot struct {
+	step  int
+	emb   *tensor.Matrix
+	heads *query.Heads
+}
+
+// Step returns the stream step the snapshot's embeddings were computed at.
+func (s *QuerySnapshot) Step() int { return s.step }
+
+// Rows returns the number of node rows the snapshot can answer about.
+func (s *QuerySnapshot) Rows() int {
+	if s.emb == nil {
+		return 0
+	}
+	return s.emb.Rows
+}
+
+// Answer evaluates a batch of predictive queries against the snapshot:
+// one stacked head application per task kind instead of one per query, with
+// answers in request order, bit-identical to answering each query alone (see
+// query.AnswerBatch). density is the shared seed-window density vector for
+// KindDensity requests (from Engine.SeedWindowDensity; nil disables them).
+// Safe to call from any number of goroutines concurrently with Engine.Step.
+func (s *QuerySnapshot) Answer(reqs []query.Request, density []float64) []query.Answer {
+	return query.AnswerBatch(s.heads, s.emb, reqs, density)
+}
+
+// QuerySnapshot returns the serving snapshot published by the most recent
+// Step, or nil before the first one. The load is atomic: safe to call from
+// serving goroutines while the engine steps.
+func (e *Engine) QuerySnapshot() *QuerySnapshot {
+	return e.serving.Load()
+}
+
+// publishServing installs the post-step serving snapshot. The embedding
+// matrix is published copy-on-write when it is the incremental store's live
+// matrix (the next in-place splice clones first); in every other case —
+// full-forward outputs, matrices the store just dropped via Invalidate — the
+// matrix is already never mutated again. Heads are value-cloned so training's
+// in-place parameter updates never race a reader's forward.
+func (e *Engine) publishServing(step int) {
+	if e.lastEmb == nil {
+		return
+	}
+	m := e.lastEmb
+	if e.emb.Valid() && e.emb.Matrix() == m {
+		m = e.emb.Publish()
+	}
+	e.serving.Store(&QuerySnapshot{step: step, emb: m, heads: e.wl.Heads().Clone()})
+}
+
+// SeedWindowDensity evaluates the graph-KDE sampling density over all nodes
+// from the current seed window, weighted by the learned chip weights — the
+// quantity KindDensity queries serve. One evaluation is shared by a whole
+// query batch. It reads the live graph and scheduler, so unlike
+// QuerySnapshot.Answer it must be called between Step calls (or under the
+// caller's step lock). Errors when the adaptive scheduler or its KDE sampler
+// is not running (strategy "full" or "weighted", or before the first Step).
+func (e *Engine) SeedWindowDensity() ([]float64, error) {
+	if e.sched == nil || e.sched.Adaptive == nil {
+		return nil, fmt.Errorf("streamgnn: no adaptive scheduler (strategy %q, or no Step yet)", e.cfg.Strategy)
+	}
+	ks, ok := e.sched.Adaptive.Sampler().(*core.KDESampler)
+	if !ok {
+		return nil, fmt.Errorf("streamgnn: strategy %q has no KDE seed window", e.cfg.Strategy)
+	}
+	seeds := ks.Seeds()
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("streamgnn: empty KDE seed window")
+	}
+	weights := make([]float64, len(seeds))
+	var total float64
+	for i, s := range seeds {
+		weights[i] = e.sched.Adaptive.Chips.EffectiveWeight(s)
+		total += weights[i]
+	}
+	if total <= 0 {
+		// All seed chips currently inactive: fall back to uniform kernels
+		// rather than failing the density query.
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	return kde.GraphKDEDensity(e.g, seeds, weights, e.ccfg.StopProb, 64, 1e-9)
+}

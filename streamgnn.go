@@ -36,6 +36,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"streamgnn/internal/autodiff"
@@ -354,6 +355,10 @@ type Engine struct {
 	driftFlag    bool
 	seenOutcomes int
 
+	// serving is the immutable post-step snapshot query serving reads
+	// lock-free; see serving.go.
+	serving atomic.Pointer[QuerySnapshot]
+
 	tele engineTelemetry
 }
 
@@ -581,6 +586,7 @@ func (e *Engine) Step() error {
 	e.tele.phases[phaseTrain].ObserveSince(phaseStart)
 
 	e.g.ResetUpdated()
+	e.publishServing(t)
 	e.step++
 	e.tele.step.ObserveSince(stepStart)
 	e.tele.steps.Inc()

@@ -20,6 +20,12 @@ func TestDetOrderFixtures(t *testing.T) {
 	analysistest.Run(t, fixtureRoot, detorder.Analyzer, "detorder/a")
 }
 
+func TestDetOrderBatchQueryScope(t *testing.T) {
+	// internal/query (home of the batched serving path) is inside the
+	// determinism scope: pending-batch maps must be collected then sorted.
+	analysistest.Run(t, fixtureRoot, detorder.Analyzer, "streamgnn/internal/query")
+}
+
 func TestDetOrderScopedOut(t *testing.T) {
 	// internal/bench is outside the determinism scope: the same constructs
 	// that fire in detorder/a must stay silent there.

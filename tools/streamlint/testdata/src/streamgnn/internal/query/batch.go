@@ -1,0 +1,45 @@
+// Fixture proving detorder covers the batched serving path in
+// internal/query: a micro-batch assembled by iterating a map of pending
+// queries would answer in randomized order, so pending batches must be
+// collected and sorted before the shared forward pass.
+package query
+
+import "sort"
+
+type request struct {
+	Anchor int
+}
+
+// Positive: flattening a pending-batch map straight into the request slice
+// leaks map iteration order into the answer order.
+func flattenPending(pending map[int][]request) []request {
+	var reqs []request
+	for _, batch := range pending {
+		reqs = append(reqs, batch...) // want `reqs collects map keys in randomized iteration order`
+	}
+	return reqs
+}
+
+// Positive: scoring while iterating the pending map accumulates in map order.
+func batchLossUnsorted(pending map[int]request, score func(request) float64) float64 {
+	var loss float64
+	for _, q := range pending {
+		loss += score(q) // want `floating-point accumulation into loss`
+	}
+	return loss
+}
+
+// Negative: the required idiom — collect the due steps, sort them, then
+// assemble the batch in deterministic order.
+func flattenPendingSorted(pending map[int][]request) []request {
+	var due []int
+	for step := range pending {
+		due = append(due, step)
+	}
+	sort.Ints(due)
+	var reqs []request
+	for _, step := range due {
+		reqs = append(reqs, pending[step]...)
+	}
+	return reqs
+}
