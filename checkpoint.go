@@ -28,9 +28,15 @@ import (
 // records the shard layout (Shards/ShardLayout) so a resumed engine can be
 // validated against — and a service can adopt — the saved partition; the
 // fields gob-decode to zero from older checkpoints, which skips the
-// validation (pre-v5 runs were always unsharded).
+// validation (pre-v5 runs were always unsharded). Version 6 adds the
+// delta-propagation caches (Delta/DeltaCommitted/HasDelta) so a resumed
+// DeltaForward run with a nonzero epsilon continues from the exact stage
+// caches of the uninterrupted run instead of resynchronizing with a full
+// forward; the fields gob-decode to zero from v3-v5 checkpoints, which simply
+// leaves the caches invalid (the first resumed delta step runs full — at
+// epsilon 0 that is bit-identical anyway).
 const (
-	checkpointVersion    = 5
+	checkpointVersion    = 6
 	checkpointVersionMin = 3
 )
 
@@ -76,6 +82,14 @@ type checkpoint struct {
 	// the layout name ("" when unsharded). 0 in pre-v5 checkpoints.
 	Shards      int
 	ShardLayout string
+
+	// Delta-propagation caches (v6): one stage-output dump per model stage
+	// plus the ids whose recurrent state the last pass committed. HasDelta
+	// is false — and the slices nil — when the engine was not in delta mode
+	// or the caches were invalid at save time, and in pre-v6 checkpoints.
+	Delta          []dgnn.StateDump
+	DeltaCommitted []int
+	HasDelta       bool
 }
 
 // CheckpointInfo is the identifying header of a saved checkpoint.
@@ -124,6 +138,9 @@ func (e *Engine) SaveCheckpoint(w io.Writer) error {
 	if e.shards != nil {
 		ck.Shards = e.shards.P
 		ck.ShardLayout = e.shards.Layout.String()
+	}
+	if e.deltaFwd != nil {
+		ck.Delta, ck.DeltaCommitted, ck.HasDelta = e.delta.DeltaDump()
 	}
 	for _, p := range e.allParams() {
 		ck.Params = append(ck.Params, dgnn.StateDump{
@@ -258,6 +275,16 @@ func (e *Engine) LoadCheckpoint(r io.Reader) error {
 	}
 	if err := e.emb.Restore(ck.Emb, ck.EmbLastFull); err != nil {
 		return err
+	}
+	if ck.HasDelta && e.deltaFwd != nil {
+		// DeltaRestore validates the stage count and widths before mutating;
+		// a checkpoint without delta caches (pre-v6, or saved invalid) leaves
+		// them invalid and the first resumed delta step runs full.
+		if err := e.delta.DeltaRestore(e.deltaFwd, ck.Delta, ck.DeltaCommitted); err != nil {
+			return err
+		}
+	} else {
+		e.delta.Invalidate()
 	}
 	if e.emb.Valid() {
 		e.lastEmb = e.emb.Matrix()

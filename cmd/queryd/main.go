@@ -66,7 +66,9 @@ func main() {
 	rate := flag.Float64("rate", 0, "max replay steps per second; 0 replays at full speed")
 	incremental := flag.Bool("incremental", false, "dirty-region incremental forward inference (see DESIGN.md §10)")
 	refreshEvery := flag.Int("refresh-every", 0, "with -incremental: force a full forward every N steps (0 = never)")
-	dirtyThreshold := flag.Float64("dirty-threshold", 0, "with -incremental: compute-region fraction above which a step falls back to a full forward (0 = engine default of 0.25, >=1 never falls back)")
+	dirtyThreshold := flag.Float64("dirty-threshold", 0, "with -incremental: compute-region fraction in [0,1] above which a step falls back to a full forward (0 = engine default of 0.25, 1 never falls back)")
+	delta := flag.Bool("delta", false, "event-driven delta-propagation forward instead of region splicing (implies -incremental; see DESIGN.md §14)")
+	deltaEps := flag.Float64("delta-eps", 0, "with -delta: per-component pruning threshold in [0,1]; 0 keeps delta forwards bit-identical to full forwards")
 	interval := flag.Int("interval", 0, "steps between training steps (0 = engine default of 1; raise so -incremental can reuse cached embeddings between training steps)")
 	kernelWorkers := flag.Int("kernel-workers", 0, "tensor-kernel parallelism (0 = serial, negative = NumCPU)")
 	shards := flag.Int("shards", 0, "partition the node space into this many shards and fan incremental forwards out per shard (0/1 = unsharded; >1 implies -incremental; see DESIGN.md §12)")
@@ -81,7 +83,8 @@ func main() {
 		listen: *listen, ckptPath: *ckptPath, resume: *resume, rate: *rate,
 		incremental: *incremental, refreshEvery: *refreshEvery,
 		dirtyThreshold: *dirtyThreshold,
-		interval:       *interval, kernelWorkers: *kernelWorkers,
+		delta:          *delta, deltaEps: *deltaEps,
+		interval: *interval, kernelWorkers: *kernelWorkers,
 		shards: *shards, shardLayout: *shardLayout,
 		batchMax: *batchMax, batchWait: *batchWait,
 	}
@@ -104,6 +107,8 @@ type options struct {
 	incremental                     bool
 	refreshEvery                    int
 	dirtyThreshold                  float64
+	delta                           bool
+	deltaEps                        float64
 	interval                        int
 	kernelWorkers                   int
 	shards                          int
@@ -157,6 +162,8 @@ func run(opts options) error {
 		IncrementalForward: opts.incremental,
 		RefreshEverySteps:  opts.refreshEvery,
 		DirtyFullThreshold: opts.dirtyThreshold,
+		DeltaForward:       opts.delta,
+		DeltaEpsilon:       opts.deltaEps,
 		Interval:           opts.interval,
 		KernelWorkers:      opts.kernelWorkers,
 		Shards:             opts.shards,
@@ -307,16 +314,16 @@ type server struct {
 	done    bool // replay finished
 
 	// batcher is the /query admission queue. Its answer path reads the
-	// engine's atomic serving snapshot, NOT mu: query batches score
-	// concurrently with the replay loop's Step. Only density queries take mu
-	// (they read the live graph and seed window).
+	// engine's atomic serving snapshot, NOT mu: query batches — including
+	// density queries, which evaluate from the snapshot's frozen seed window
+	// and walk adjacency — score concurrently with the replay loop's Step.
 	batcher *serve.Batcher
 }
 
 // answerBatch answers one flushed micro-batch against the latest published
-// serving snapshot — lock-free with respect to the step loop. The KDE
-// seed-window density is evaluated at most once per batch, shared by every
-// density query in it.
+// serving snapshot — lock-free with respect to the step loop for all three
+// query kinds. The KDE seed-window density is evaluated at most once per
+// snapshot (QuerySnapshot.Density memoizes), shared by every density query.
 func (s *server) answerBatch(reqs []query.Request) []query.Answer {
 	snapshot := s.eng.QuerySnapshot()
 	if snapshot == nil {
@@ -329,10 +336,7 @@ func (s *server) answerBatch(reqs []query.Request) []query.Answer {
 	var density []float64
 	for _, r := range reqs {
 		if r.Kind == query.KindDensity {
-			s.mu.Lock()
-			d, err := s.eng.SeedWindowDensity()
-			s.mu.Unlock()
-			if err == nil {
+			if d, err := snapshot.Density(); err == nil {
 				density = d
 			}
 			break
@@ -554,11 +558,21 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	obs.WriteHeader(&b, "streamgnn_forwards_total", "Forward inference passes, by mode.", "counter")
 	obs.WriteIntValue(&b, "streamgnn_forwards_total", `mode="full"`, tel.FullForwards)
 	obs.WriteIntValue(&b, "streamgnn_forwards_total", `mode="incremental"`, tel.IncrementalForwards)
+	obs.WriteIntValue(&b, "streamgnn_forwards_total", `mode="delta"`, tel.DeltaForwards)
 	obs.WriteHeader(&b, "streamgnn_forward_skipped_rows_total", "Embedding rows incremental forwards did not recompute.", "counter")
 	obs.WriteIntValue(&b, "streamgnn_forward_skipped_rows_total", "", tel.SkippedRows)
 	if tel.DirtyFraction.Count > 0 {
 		obs.WriteHeader(&b, "streamgnn_forward_dirty_fraction", "Per-step compute-region fraction in incremental mode.", "histogram")
 		obs.WriteHistogram(&b, "streamgnn_forward_dirty_fraction", "", snap(tel.DirtyFraction))
+	}
+	if tel.DeltaForwards > 0 || tel.DeltaAborts > 0 {
+		obs.WriteHeader(&b, "streamgnn_delta_aborts_total", "Delta passes aborted on the candidate budget (fell back to a full forward).", "counter")
+		obs.WriteIntValue(&b, "streamgnn_delta_aborts_total", "", tel.DeltaAborts)
+		obs.WriteHeader(&b, "streamgnn_delta_rows_total", "Delta-pass stage rows, by outcome.", "counter")
+		obs.WriteIntValue(&b, "streamgnn_delta_rows_total", `outcome="candidate"`, tel.DeltaCandidateRows)
+		obs.WriteIntValue(&b, "streamgnn_delta_rows_total", `outcome="pruned"`, tel.DeltaPrunedRows)
+		obs.WriteHeader(&b, "streamgnn_delta_pruned_fraction", "Per-pass pruned-frontier fraction (pruned rows over candidate rows).", "histogram")
+		obs.WriteHistogram(&b, "streamgnn_delta_pruned_fraction", "", snap(tel.DeltaPrunedFraction))
 	}
 
 	if tel.Shards > 1 {

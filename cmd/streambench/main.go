@@ -5,6 +5,7 @@
 //	streambench -table 3 [-runs 10]   # Table III (parameter study)
 //	streambench -hotpath              # partition cache + parallel pairs
 //	streambench -qps                  # batched query serving under load
+//	streambench -delta                # splice vs. DeltaForward on a hub-heavy stream
 //
 // Use -steps and -scale to trade fidelity for speed.
 package main
@@ -31,6 +32,8 @@ func main() {
 	qpsClients := flag.Int("qps-clients", 4, "with -qps: concurrent closed-loop clients in the saturation phases")
 	qpsSeconds := flag.Float64("qps-seconds", 2, "with -qps: duration of each load phase")
 	qpsFloor := flag.Float64("qps-floor", 0, "with -qps: exit non-zero unless the batched saturation phase sustains at least this many qps (CI gate)")
+	delta := flag.Bool("delta", false, "benchmark region-splice vs. event-driven delta forward on a hub-heavy stream where the splice ladder falls back to full")
+	deltaFloor := flag.Float64("delta-floor", 0, "with -delta: exit non-zero unless DeltaForward beats the splice engine by at least this factor (CI gate; e.g. 2)")
 	runs := flag.Int("runs", 10, "repetitions per cell (the paper uses 10)")
 	steps := flag.Int("steps", 40, "stream steps per run")
 	scale := flag.Float64("scale", 1, "workload scale factor")
@@ -45,6 +48,35 @@ func main() {
 	}
 
 	var err error
+	if *delta {
+		fmt.Printf("DELTA FORWARD: splice vs. event-driven delta on a hub-heavy stream (%d timed steps)\n\n", *steps)
+		ab, derr := bench.RunDeltaAB("WinGNN", *steps)
+		if derr != nil {
+			fmt.Fprintln(os.Stderr, "streambench:", derr)
+			os.Exit(1)
+		}
+		fmt.Print(ab.String())
+		if *jsonOut != "" {
+			data, jerr := json.MarshalIndent(ab, "", "  ")
+			if jerr == nil {
+				jerr = os.WriteFile(*jsonOut, append(data, '\n'), 0o644)
+			}
+			if jerr != nil {
+				fmt.Fprintln(os.Stderr, "streambench:", jerr)
+				os.Exit(1)
+			}
+			fmt.Printf("\nJSON report written to %s\n", *jsonOut)
+		}
+		if ab.DeltaForwards == 0 {
+			fmt.Fprintln(os.Stderr, "streambench: the delta path never ran — the A/B proved nothing")
+			os.Exit(1)
+		}
+		if *deltaFloor > 0 && ab.Speedup < *deltaFloor {
+			fmt.Fprintf(os.Stderr, "streambench: delta speedup %.2fx is below the floor of %.2fx\n", ab.Speedup, *deltaFloor)
+			os.Exit(1)
+		}
+		return
+	}
 	if *qps {
 		fmt.Printf("QPS LOAD: batched predictive-query serving against a live stream (%.0fs phases)\n\n", *qpsSeconds)
 		rep, qerr := bench.RunQPS("TGCN", *qpsSeconds, *qpsRate, *qpsBatch, *qpsClients)
@@ -95,6 +127,12 @@ func main() {
 			}
 			rep.Sharded = &sab
 		}
+		dab, derr := bench.RunDeltaAB("WinGNN", *steps)
+		if derr != nil {
+			fmt.Fprintln(os.Stderr, "streambench:", derr)
+			os.Exit(1)
+		}
+		rep.Delta = &dab
 		fmt.Print(rep.String())
 		if *jsonOut != "" {
 			data, jerr := json.MarshalIndent(rep, "", "  ")

@@ -1,0 +1,237 @@
+package streamgnn
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestNewEngineRejectsDirtyFullThresholdAboveOne(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DirtyFullThreshold = 1.5
+	if _, err := NewEngine(3, cfg); err == nil {
+		t.Fatal("DirtyFullThreshold > 1 accepted (it is a fraction of the graph)")
+	}
+	cfg.DirtyFullThreshold = 1 // the documented never-fall-back value stays legal
+	if _, err := NewEngine(3, cfg); err != nil {
+		t.Fatalf("DirtyFullThreshold = 1 rejected: %v", err)
+	}
+}
+
+func TestNewEngineRejectsDeltaEpsilonOutOfRange(t *testing.T) {
+	for _, eps := range []float64{-0.1, 1.5} {
+		cfg := DefaultConfig()
+		cfg.DeltaForward = true
+		cfg.DeltaEpsilon = eps
+		if _, err := NewEngine(3, cfg); err == nil {
+			t.Fatalf("DeltaEpsilon = %v accepted", eps)
+		}
+	}
+}
+
+// At epsilon 0 a DeltaForward engine must be bit-identical to the full
+// baseline at every step, for every delta-capable model kind — including the
+// recurrent ones, which region splicing can only approximate. Kinds without a
+// delta decomposition must silently keep the splice ladder.
+func TestDeltaForwardBitEqualsFullAllKinds(t *testing.T) {
+	capable := 0
+	for _, name := range ModelNames() {
+		base := DefaultConfig()
+		base.Model = name
+		base.Strategy = StrategyWeighted
+		base.Hidden = 8
+		base.Seed = 7
+		base.Interval = 25 // train occasionally: delta caches must survive invalidation
+
+		del := base
+		del.DeltaForward = true
+		del.DirtyFullThreshold = 1 // never abort on the candidate budget
+
+		const n, steps = 40, 60
+		d := incStream{n: n}
+		eFull, err := NewEngine(3, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eDelta, err := NewEngine(3, del)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.init(t, eFull)
+		d.init(t, eDelta)
+
+		isCapable := eDelta.deltaFwd != nil
+		for s := 0; s < steps; s++ {
+			d.mutate(eFull, s)
+			d.mutate(eDelta, s)
+			if err := eFull.Step(); err != nil {
+				t.Fatalf("%s full step %d: %v", name, s, err)
+			}
+			if err := eDelta.Step(); err != nil {
+				t.Fatalf("%s delta step %d: %v", name, s, err)
+			}
+			if isCapable {
+				sameMatrix(t, s, eFull.lastEmb.Data, eDelta.lastEmb.Data)
+			} else if eDelta.lastEmb.Rows != eDelta.NumNodes() {
+				t.Fatalf("%s step %d: embedding rows %d, nodes %d", name, s, eDelta.lastEmb.Rows, eDelta.NumNodes())
+			}
+		}
+
+		tele := eDelta.Telemetry()
+		if isCapable {
+			capable++
+			if tele.DeltaForwards == 0 {
+				t.Fatalf("%s: delta path never ran; test proved nothing", name)
+			}
+			if tele.DeltaCandidateRows == 0 {
+				t.Fatalf("%s: delta passes recomputed no rows", name)
+			}
+			// Training every 25 steps forces ~steps/25 full forwards (plus
+			// step 0); everything else must have gone through a delta pass.
+			if tele.FullForwards > steps/25+2 {
+				t.Fatalf("%s: too many full forwards: %d of %d steps", name, tele.FullForwards, steps)
+			}
+		} else if tele.DeltaForwards != 0 || tele.DeltaAborts != 0 {
+			t.Fatalf("%s has no delta decomposition but ran %d delta passes / %d aborts",
+				name, tele.DeltaForwards, tele.DeltaAborts)
+		}
+	}
+	if capable != 5 {
+		t.Fatalf("%d delta-capable kinds, want 5", capable)
+	}
+}
+
+// At epsilon > 0 pruning discards sub-epsilon recomputations; the embeddings
+// of a recurrent model must stay within a small structural bound of the full
+// baseline's — the bounded-error regime at engine level.
+func TestDeltaForwardBoundedErrorStateful(t *testing.T) {
+	const eps = 1e-4
+	base := DefaultConfig()
+	base.Model = "TGCN"
+	base.Strategy = StrategyWeighted
+	base.Hidden = 8
+	base.Seed = 3
+	base.Interval = 1000 // train only at step 0: drift comes from pruning alone
+
+	del := base
+	del.DeltaForward = true
+	del.DeltaEpsilon = eps
+	del.DirtyFullThreshold = 1
+
+	const n, steps = 40, 30
+	d := incStream{n: n}
+	eFull, err := NewEngine(3, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eDelta, err := NewEngine(3, del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.init(t, eFull)
+	d.init(t, eDelta)
+	for s := 0; s < steps; s++ {
+		d.mutate(eFull, s)
+		d.mutate(eDelta, s)
+		if err := eFull.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if err := eDelta.Step(); err != nil {
+			t.Fatal(err)
+		}
+		tol := eps * 1e3 * float64(s+1)
+		a, b := eFull.lastEmb.Data, eDelta.lastEmb.Data
+		if len(a) != len(b) {
+			t.Fatalf("step %d: embedding lengths differ: %d vs %d", s, len(a), len(b))
+		}
+		for i := range a {
+			if diff := math.Abs(a[i] - b[i]); diff > tol {
+				t.Fatalf("step %d: emb[%d] drifted %v > %v", s, i, diff, tol)
+			}
+		}
+	}
+}
+
+// Two runs of the same DeltaForward configuration over the same stream must
+// be bit-identical after 200 steps — the repeat-run determinism regime, with
+// a nonzero epsilon so pruning decisions are part of the trajectory.
+func TestDeltaForwardRepeatRun200(t *testing.T) {
+	run := func() *Engine {
+		cfg := DefaultConfig()
+		cfg.Model = "TGCN"
+		cfg.Strategy = StrategyWeighted
+		cfg.Hidden = 8
+		cfg.Seed = 11
+		cfg.Interval = 7
+		cfg.DeltaForward = true
+		cfg.DeltaEpsilon = 1e-3
+		cfg.DirtyFullThreshold = 1
+		const n, steps = 50, 200
+		d := incStream{n: n}
+		e, err := NewEngine(3, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.init(t, e)
+		for s := 0; s < steps; s++ {
+			d.mutate(e, s)
+			if err := e.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return e
+	}
+	e1, e2 := run(), run()
+	sameMatrix(t, 200, e1.lastEmb.Data, e2.lastEmb.Data)
+	if m1, m2 := fmt.Sprintf("%+v", e1.Metrics()), fmt.Sprintf("%+v", e2.Metrics()); m1 != m2 {
+		t.Fatalf("metrics diverged between repeat runs:\n  %s\n  %s", m1, m2)
+	}
+	if e1.Telemetry().DeltaForwards == 0 {
+		t.Fatal("delta path never ran")
+	}
+	if e1.Telemetry().DeltaPrunedRows == 0 {
+		t.Fatal("epsilon 1e-3 pruned nothing across 200 steps")
+	}
+}
+
+// Checkpoint resume with DeltaForward at epsilon 0: the v6 delta caches ride
+// along and the resumed run must be indistinguishable from the uninterrupted
+// one.
+func TestCheckpointResumeEqualityDeltaForward(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Model = "TGCN"
+	cfg.Strategy = StrategyWeighted
+	cfg.Hidden = 6
+	cfg.Interval = 3
+	cfg.DeltaForward = true
+	cfg.DirtyFullThreshold = 1
+	resumeEquality(t, cfg)
+}
+
+// The same with a nonzero epsilon: the stage caches carry sub-epsilon drift
+// the model recomputation cannot reproduce, so this only passes if the
+// checkpoint actually restores the caches (v6) rather than resynchronizing
+// with a full forward.
+func TestCheckpointResumeEqualityDeltaForwardEpsilon(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Model = "TGCN"
+	cfg.Strategy = StrategyWeighted
+	cfg.Hidden = 6
+	cfg.Interval = 3
+	cfg.DeltaForward = true
+	cfg.DeltaEpsilon = 1e-3
+	cfg.DirtyFullThreshold = 1
+	resumeEquality(t, cfg)
+}
+
+// A memoryless kind on the delta path must also survive checkpoint resume.
+func TestCheckpointResumeEqualityDeltaForwardWinGNN(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Model = "WinGNN"
+	cfg.Strategy = StrategyWeighted
+	cfg.Hidden = 6
+	cfg.Interval = 3
+	cfg.DeltaForward = true
+	cfg.DirtyFullThreshold = 1
+	resumeEquality(t, cfg)
+}

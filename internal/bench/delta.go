@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"streamgnn"
+)
+
+// DeltaAB compares region-splicing incremental forward against event-driven
+// delta propagation (Config.DeltaForward) on a hub-heavy stream: the graph is
+// a ring of hub nodes, each fanning out to its own leaf cluster, and every
+// step rewrites a handful of leaf features around one rotating hub. The
+// splice region Ball(Ball(S,L),L) then spans several whole clusters — past
+// the DirtyFullThreshold budget — so the splice ladder falls back to a full
+// forward on every step, while the delta pass recomputes only the touched
+// cluster stage by stage. This is the workload the delta path exists for.
+type DeltaAB struct {
+	Nodes        int
+	Hubs         int
+	DirtyPerStep int
+	Model        string
+	Epsilon      float64
+	// SpliceStepsPerSec / DeltaStepsPerSec are whole-Step throughputs of the
+	// two incremental engines on the identical stream; Speedup their ratio.
+	SpliceStepsPerSec float64
+	DeltaStepsPerSec  float64
+	Speedup           float64
+	// SpliceFullForwards counts the splice engine's fallback full forwards —
+	// the evidence that ball expansion blew the budget. SpliceSteps is its
+	// total step count for scale.
+	SpliceFullForwards int64
+	SpliceSteps        int64
+	// DeltaForwards / DeltaAborts break down how the delta engine's steps
+	// were served; CandidateRows totals the stage rows its passes touched
+	// and PrunedFraction is the mean pruned-frontier fraction per pass.
+	DeltaForwards  int64
+	DeltaAborts    int64
+	CandidateRows  int64
+	PrunedFraction float64
+}
+
+// newHubEngine builds an engine over a hub-and-spoke graph: hubs hubs in a
+// ring, each connected to its cluster's n/hubs−1 leaves. Training is
+// effectively disabled (huge Interval) so the comparison isolates inference.
+func newHubEngine(model string, n, hubs int, delta bool) (*streamgnn.Engine, error) {
+	cfg := streamgnn.DefaultConfig()
+	cfg.Model = model
+	cfg.Strategy = streamgnn.StrategyWeighted
+	cfg.Hidden = 16
+	cfg.Seed = 42
+	cfg.Interval = 1 << 30
+	cfg.IncrementalForward = true
+	if delta {
+		cfg.DeltaForward = true
+		cfg.DeltaEpsilon = deltaBenchEpsilon
+	}
+	e, err := streamgnn.NewEngine(8, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sz := n / hubs
+	for i := 0; i < n; i++ {
+		f := make([]float64, 8)
+		f[i%8] = 1
+		e.AddNode(0, f)
+	}
+	for c := 0; c < hubs; c++ {
+		hub := c * sz
+		for leaf := hub + 1; leaf < hub+sz; leaf++ {
+			e.AddUndirectedEdge(hub, leaf, 0)
+		}
+		e.AddUndirectedEdge(hub, ((c+1)%hubs)*sz, 0)
+	}
+	return e, nil
+}
+
+// deltaBenchEpsilon is the pruning threshold the delta engine runs at: large
+// enough that mutateHub's sub-epsilon nudges prune at the first stage, small
+// enough that the real rewrites always propagate.
+const deltaBenchEpsilon = 1e-4
+
+// mutateHub applies step s's mutations: dirty leaf-feature rewrites inside
+// the rotating cluster s%hubs plus one new leaf-leaf edge there, and an equal
+// number of sub-epsilon feature nudges in the opposite cluster. Every touched
+// node is at most two hops from a hub, so the splice frontier absorbs whole
+// clusters while the delta frontier stays cluster-local — and the nudged
+// leaves prune at the first stage instead of waking their cluster at all.
+func mutateHub(e *streamgnn.Engine, n, hubs, dirty, s int) {
+	sz := n / hubs
+	hub := (s % hubs) * sz
+	for k := 0; k < dirty; k++ {
+		v := hub + 1 + (s*31+k*97)%(sz-1)
+		f := make([]float64, 8)
+		f[(s+k)%8] = float64(s%7) * 0.3
+		e.SetFeature(v, f)
+	}
+	a := hub + 1 + (s*13)%(sz-1)
+	b := hub + 1 + (s*17+5)%(sz-1)
+	e.AddEdge(a, b, 0)
+	far := ((s + hubs/2) % hubs) * sz
+	for k := 0; k < dirty; k++ {
+		v := far + 1 + (s*29+k*89)%(sz-1)
+		f := append([]float64(nil), e.Graph().Feature(v)...)
+		f[(s+k)%8] += 1e-7 // well under deltaBenchEpsilon after any one stage
+		e.SetFeature(v, f)
+	}
+}
+
+// RunDeltaAB measures whole-Step throughput of a splice-incremental engine
+// and a DeltaForward engine on the same hub-heavy stream of the given
+// length, after an identical warmup.
+func RunDeltaAB(model string, steps int) (DeltaAB, error) {
+	const n, hubs = 2400, 8
+	dirty := 24
+	ab := DeltaAB{Nodes: n, Hubs: hubs, DirtyPerStep: dirty, Model: model, Epsilon: deltaBenchEpsilon}
+
+	run := func(delta bool) (float64, *streamgnn.Engine, error) {
+		e, err := newHubEngine(model, n, hubs, delta)
+		if err != nil {
+			return 0, nil, err
+		}
+		// Warmup: step 0 trains once (0 % Interval == 0) and invalidates the
+		// inference caches; two more steps re-establish them.
+		for s := 0; s < 3; s++ {
+			mutateHub(e, n, hubs, dirty, s)
+			if err := e.Step(); err != nil {
+				return 0, nil, err
+			}
+		}
+		start := time.Now()
+		for s := 3; s < 3+steps; s++ {
+			mutateHub(e, n, hubs, dirty, s)
+			if err := e.Step(); err != nil {
+				return 0, nil, err
+			}
+		}
+		return float64(steps) / time.Since(start).Seconds(), e, nil
+	}
+
+	// Interleave three reps of each mode and keep the medians, like the
+	// forward A/B.
+	var spl, del [3]float64
+	var splEngine, delEngine *streamgnn.Engine
+	for r := 0; r < 3; r++ {
+		var err error
+		if spl[r], splEngine, err = run(false); err != nil {
+			return ab, err
+		}
+		if del[r], delEngine, err = run(true); err != nil {
+			return ab, err
+		}
+	}
+	ab.SpliceStepsPerSec = median3(spl[0], spl[1], spl[2])
+	ab.DeltaStepsPerSec = median3(del[0], del[1], del[2])
+	if ab.SpliceStepsPerSec > 0 {
+		ab.Speedup = ab.DeltaStepsPerSec / ab.SpliceStepsPerSec
+	}
+	st := splEngine.Telemetry()
+	ab.SpliceFullForwards = st.FullForwards
+	ab.SpliceSteps = st.Steps
+	dt := delEngine.Telemetry()
+	ab.DeltaForwards = dt.DeltaForwards
+	ab.DeltaAborts = dt.DeltaAborts
+	ab.CandidateRows = dt.DeltaCandidateRows
+	ab.PrunedFraction = dt.DeltaPrunedFraction.Mean()
+	return ab, nil
+}
+
+// String renders the comparison for the streambench table output.
+func (ab DeltaAB) String() string {
+	return fmt.Sprintf(
+		"Delta propagation (%s, %d nodes, %d hubs, %d dirty/step, eps %g)\n"+
+			"  splice %.1f st/s (%d/%d steps fell back to full), delta %.1f st/s (%.2fx)\n"+
+			"  delta passes %d (%d aborts), %d candidate rows, pruned-frontier fraction %.3f\n",
+		ab.Model, ab.Nodes, ab.Hubs, ab.DirtyPerStep, ab.Epsilon,
+		ab.SpliceStepsPerSec, ab.SpliceFullForwards, ab.SpliceSteps,
+		ab.DeltaStepsPerSec, ab.Speedup,
+		ab.DeltaForwards, ab.DeltaAborts, ab.CandidateRows, ab.PrunedFraction)
+}

@@ -109,6 +109,9 @@ type HotPathReport struct {
 	// Sharded is the unsharded vs. sharded incremental-forward comparison
 	// (see RunShardedAB); nil when the sharded A/B was not run.
 	Sharded *ShardedAB
+	// Delta is the region-splice vs. delta-propagation comparison on the
+	// hub-heavy stream (see RunDeltaAB); nil when the delta A/B was not run.
+	Delta *DeltaAB
 }
 
 // timeSteps measures adaptive-step throughput (steps/sec) for one
@@ -247,6 +250,9 @@ func (r HotPathReport) String() string {
 	}
 	if r.Sharded != nil {
 		b.WriteString(r.Sharded.String())
+	}
+	if r.Delta != nil {
+		b.WriteString(r.Delta.String())
 	}
 	return b.String()
 }

@@ -1,0 +1,220 @@
+package dgnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streamgnn/internal/autodiff"
+	"streamgnn/internal/graph"
+)
+
+// deltaKinds are the model kinds implementing DeltaForwarder.
+func deltaKinds(t *testing.T) []Kind {
+	t.Helper()
+	var out []Kind
+	for _, k := range Kinds() {
+		if _, ok := New(k, rand.New(rand.NewSource(1)), 4, 4).(DeltaForwarder); ok {
+			out = append(out, k)
+		}
+	}
+	if len(out) != 5 {
+		t.Fatalf("expected 5 delta-capable kinds, got %v", out)
+	}
+	return out
+}
+
+func buildDeltaGraph(featDim, n int) *graph.Dynamic {
+	g := graph.NewDynamic(featDim)
+	for i := 0; i < n; i++ {
+		f := make([]float64, featDim)
+		f[i%featDim] = 1 + 0.1*float64(i)
+		g.AddNode(0, f)
+	}
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n, 0, 0)
+		if i%3 == 0 {
+			g.AddEdge(i, (i*7+2)%n, 0, 0)
+		}
+	}
+	return g
+}
+
+func mutateDeltaGraph(g *graph.Dynamic, rng *rand.Rand, step int) {
+	n := g.N()
+	for k := 0; k < 2; k++ {
+		v := rng.Intn(n)
+		f := make([]float64, g.FeatDim())
+		f[rng.Intn(g.FeatDim())] = rng.NormFloat64()
+		g.SetFeature(v, f)
+	}
+	if step%4 == 1 {
+		g.AddEdge(rng.Intn(n), rng.Intn(n), 0, int64(step))
+	}
+	if step%5 == 2 {
+		f := make([]float64, g.FeatDim())
+		f[0] = 1
+		id := g.AddNode(0, f)
+		g.AddEdge(id, rng.Intn(id), 0, int64(step))
+	}
+}
+
+// At epsilon 0 the delta pass must be bit-identical to the tape's full
+// forward for every delta-capable kind, across feature rewrites, edge
+// inserts, and node adds — the cornerstone invariant of the delta path.
+func TestDeltaEpsilonZeroBitEqualsFull(t *testing.T) {
+	for _, kind := range deltaKinds(t) {
+		const featDim, n, steps = 5, 24, 30
+		ref := New(kind, rand.New(rand.NewSource(7)), featDim, 6)
+		dm := New(kind, rand.New(rand.NewSource(7)), featDim, 6).(DeltaForwarder)
+
+		gRef := buildDeltaGraph(featDim, n)
+		gDel := buildDeltaGraph(featDim, n)
+		gDel.EnableDirtyTracking()
+		gDel.TakeDirty()
+
+		st := &DeltaState{}
+		emb := NewEmbStore()
+		emb.SetFull(RunDeltaFull(gDel, dm, st), 0)
+		ref.Forward(autodiff.NewTape(), FullView(gRef)) // match the delta side's step-0 state commit
+
+		rngRef := rand.New(rand.NewSource(99))
+		rngDel := rand.New(rand.NewSource(99))
+		for step := 1; step <= steps; step++ {
+			mutateDeltaGraph(gRef, rngRef, step)
+			mutateDeltaGraph(gDel, rngDel, step)
+
+			tp := autodiff.NewTape()
+			want := ref.Forward(tp, FullView(gRef)).Value
+
+			dirty := gDel.TakeDirty()
+			res := RunDelta(gDel, dm, st, emb, dirty, 0, gDel.N())
+			if res.Aborted {
+				t.Fatalf("%s step %d: delta pass aborted with budget n", kind, step)
+			}
+			got := res.Out
+			if got.Rows != want.Rows || got.Cols != want.Cols {
+				t.Fatalf("%s step %d: shape %dx%d, want %dx%d", kind, step, got.Rows, got.Cols, want.Rows, want.Cols)
+			}
+			for i := range want.Data {
+				if want.Data[i] != got.Data[i] && !(math.IsNaN(want.Data[i]) && math.IsNaN(got.Data[i])) {
+					t.Fatalf("%s step %d: emb[%d] = %v, want %v", kind, step, i, got.Data[i], want.Data[i])
+				}
+			}
+		}
+	}
+}
+
+// DeltaFull must be bit-identical to the tape's full forward — the two code
+// paths share every kernel, and this pins that they stay shared.
+func TestDeltaFullBitEqualsForward(t *testing.T) {
+	for _, kind := range deltaKinds(t) {
+		const featDim = 5
+		ref := New(kind, rand.New(rand.NewSource(3)), featDim, 6)
+		dm := New(kind, rand.New(rand.NewSource(3)), featDim, 6).(DeltaForwarder)
+		g := buildDeltaGraph(featDim, 17)
+		for step := 0; step < 3; step++ {
+			tp := autodiff.NewTape()
+			want := ref.Forward(tp, FullView(g)).Value
+			got := RunDeltaFull(g, dm, &DeltaState{})
+			for i := range want.Data {
+				if want.Data[i] != got.Data[i] {
+					t.Fatalf("%s step %d: full[%d] = %v, want %v", kind, step, i, got.Data[i], want.Data[i])
+				}
+			}
+			mutateDeltaGraph(g, rand.New(rand.NewSource(int64(step))), step)
+		}
+	}
+}
+
+// perturbFeature nudges one node's attribute vector by ~1e-5 — small enough
+// that the change attenuates below epsilon within a hop or two, exercising
+// the pruning path.
+func perturbFeature(g *graph.Dynamic, rng *rand.Rand) {
+	v := rng.Intn(g.N())
+	f := append([]float64(nil), g.Feature(v)...)
+	f[rng.Intn(len(f))] += 1e-5 * rng.NormFloat64()
+	g.SetFeature(v, f)
+}
+
+// At epsilon > 0 the delta pass prunes sub-epsilon rows; every embedding row
+// must stay within a small multiple of epsilon per stage of the exact value
+// (memoryless models) — the bounded-error regime.
+func TestDeltaEpsilonBoundedError(t *testing.T) {
+	const featDim, n, steps, eps = 5, 24, 20, 1e-4
+	for _, kind := range deltaKinds(t) {
+		ref := New(kind, rand.New(rand.NewSource(7)), featDim, 6)
+		dm := New(kind, rand.New(rand.NewSource(7)), featDim, 6).(DeltaForwarder)
+
+		gRef := buildDeltaGraph(featDim, n)
+		gDel := buildDeltaGraph(featDim, n)
+		gDel.EnableDirtyTracking()
+		gDel.TakeDirty()
+
+		st := &DeltaState{}
+		emb := NewEmbStore()
+		emb.SetFull(RunDeltaFull(gDel, dm, st), 0)
+		ref.Forward(autodiff.NewTape(), FullView(gRef)) // match the delta side's step-0 state commit
+
+		rngRef := rand.New(rand.NewSource(42))
+		rngDel := rand.New(rand.NewSource(42))
+		pruned := 0
+		for step := 1; step <= steps; step++ {
+			perturbFeature(gRef, rngRef)
+			perturbFeature(gDel, rngDel)
+			tp := autodiff.NewTape()
+			want := ref.Forward(tp, FullView(gRef)).Value
+			res := RunDelta(gDel, dm, st, emb, gDel.TakeDirty(), eps, gDel.N())
+			if res.Aborted {
+				t.Fatalf("%s step %d: aborted", kind, step)
+			}
+			pruned += res.Pruned
+			// Stateful models accumulate bounded per-step drift; memoryless
+			// ones stay within a per-stage epsilon amplification. A loose
+			// structural bound keeps the test meaningful without modeling
+			// Lipschitz constants exactly.
+			tol := eps * 1e3 * float64(step)
+			for i := range want.Data {
+				if d := math.Abs(want.Data[i] - res.Out.Data[i]); d > tol {
+					t.Fatalf("%s step %d: emb[%d] drifted %v > %v", kind, step, i, d, tol)
+				}
+			}
+		}
+		if pruned == 0 && kind == WinGNN {
+			t.Fatalf("%s: epsilon %v pruned nothing across %d steps", kind, eps, steps)
+		}
+	}
+}
+
+// An aborted pass must leave caches, recurrent state, and the store
+// untouched, and a subsequent full refresh must resynchronize exactly.
+func TestDeltaAbortCommitsNothing(t *testing.T) {
+	const featDim, n = 5, 24
+	dm := New(WinGNN, rand.New(rand.NewSource(7)), featDim, 6).(DeltaForwarder)
+	g := buildDeltaGraph(featDim, n)
+	g.EnableDirtyTracking()
+	g.TakeDirty()
+	st := &DeltaState{}
+	emb := NewEmbStore()
+	emb.SetFull(RunDeltaFull(g, dm, st), 0)
+	before := emb.Matrix().Clone()
+	stage0 := st.stages[0].Clone()
+
+	f := make([]float64, featDim)
+	f[1] = 2.5
+	g.SetFeature(3, f)
+	res := RunDelta(g, dm, st, emb, g.TakeDirty(), 0, 0) // budget 0 forces abort
+	if !res.Aborted {
+		t.Fatal("budget 0 did not abort")
+	}
+	for i := range before.Data {
+		if emb.Matrix().Data[i] != before.Data[i] {
+			t.Fatal("aborted pass mutated the embedding store")
+		}
+	}
+	for i := range stage0.Data {
+		if st.stages[0].Data[i] != stage0.Data[i] {
+			t.Fatal("aborted pass mutated a stage cache")
+		}
+	}
+}

@@ -72,6 +72,14 @@ type Dynamic struct {
 	rwFwd        *tensor.CSR
 	rwRev        *tensor.CSR
 
+	// edgeVersion increases only on topology mutations (node adds, edge
+	// inserts, window expiry) — not on feature or label writes. The cached
+	// random-walk adjacency below keys on it, so feature-churn-heavy streams
+	// never rebuild it.
+	edgeVersion int64
+	walkVersion int64
+	walkAdj     *tensor.CSR
+
 	typedVersion int64
 	typedNTypes  int
 	typedAdj     []*tensor.CSR
@@ -127,6 +135,7 @@ func (g *Dynamic) markFwdDirty(v int) {
 // or truncated to FeatDim) and returns its id. New nodes start unlabeled.
 func (g *Dynamic) AddNode(t NodeType, feat []float64) int {
 	id := len(g.ntype)
+	g.edgeVersion++
 	g.ntype = append(g.ntype, t)
 	row := make([]float64, g.featDim)
 	copy(row, feat)
@@ -155,6 +164,7 @@ func (g *Dynamic) AddEdge(u, v int, et EdgeType, ts int64) {
 func (g *Dynamic) AddLabeledEdge(u, v int, et EdgeType, ts int64, label float64) {
 	g.checkNode(u)
 	g.checkNode(v)
+	g.edgeVersion++
 	g.out[u] = append(g.out[u], Edge{To: v, Type: et, Time: ts, Label: label})
 	g.in[v] = append(g.in[v], Edge{To: u, Type: et, Time: ts, Label: label})
 	if g.sh != nil {
@@ -279,8 +289,13 @@ func (g *Dynamic) ExpireEdgesBefore(ts int64) {
 	}
 	if changed {
 		g.version++
+		g.edgeVersion++
 	}
 }
+
+// EdgeVersion increases on every topology mutation (node adds, edge inserts,
+// window expiry); attribute and label writes leave it unchanged.
+func (g *Dynamic) EdgeVersion() int64 { return g.edgeVersion }
 
 // Updated returns the set of nodes touched (added, re-attributed, relabeled,
 // or incident to a new edge) since the last ResetUpdated, in ascending order.
@@ -323,28 +338,46 @@ func (g *Dynamic) Features() *tensor.Matrix {
 	return m
 }
 
+// normDeg returns the GCN normalization degree of v: in+out degree plus the
+// self loop. This is THE degree expression of the cached normalized
+// adjacency; per-row delta recomputation must produce bit-identical entry
+// values, so both paths call this one function.
+func (g *Dynamic) normDeg(v int) float64 {
+	return float64(len(g.out[v])+len(g.in[v])) + 1 // +1 self loop
+}
+
+// NormRowAppend appends row v of the symmetric GCN-normalized adjacency
+// D^{-1/2}(A+Aᵀ+I)D^{-1/2} to dst, in the cache's entry order (self loop,
+// out-edges, in-edges) and with the cache's exact floating-point expressions.
+// The delta-forward path uses it to aggregate one node's neighborhood without
+// rebuilding the full cached CSR.
+func (g *Dynamic) NormRowAppend(v int, dst []tensor.CSREntry) []tensor.CSREntry {
+	dv := math.Sqrt(g.normDeg(v))
+	dst = append(dst, tensor.CSREntry{Col: v, Val: 1 / g.normDeg(v)})
+	for _, e := range g.out[v] {
+		dst = append(dst, tensor.CSREntry{Col: e.To, Val: 1 / (dv * math.Sqrt(g.normDeg(e.To)))})
+	}
+	for _, e := range g.in[v] {
+		dst = append(dst, tensor.CSREntry{Col: e.To, Val: 1 / (dv * math.Sqrt(g.normDeg(e.To)))})
+	}
+	return dst
+}
+
 func (g *Dynamic) refreshCaches() {
 	if g.cacheVersion == g.version && g.normAdj != nil {
 		return
 	}
 	n := g.N()
 	// Symmetric GCN normalization of A + Aᵀ + I.
-	deg := make([]float64, n)
-	for v := 0; v < n; v++ {
-		deg[v] = float64(len(g.out[v])+len(g.in[v])) + 1 // +1 self loop
-	}
 	entries := make([][]tensor.CSREntry, n)
 	fwd := make([][]tensor.CSREntry, n)
 	rev := make([][]tensor.CSREntry, n)
 	for v := 0; v < n; v++ {
-		dv := math.Sqrt(deg[v])
-		entries[v] = append(entries[v], tensor.CSREntry{Col: v, Val: 1 / deg[v]})
+		entries[v] = g.NormRowAppend(v, nil)
 		for _, e := range g.out[v] {
-			entries[v] = append(entries[v], tensor.CSREntry{Col: e.To, Val: 1 / (dv * math.Sqrt(deg[e.To]))})
 			fwd[v] = append(fwd[v], tensor.CSREntry{Col: e.To, Val: 1 / float64(max(1, len(g.out[v])))})
 		}
 		for _, e := range g.in[v] {
-			entries[v] = append(entries[v], tensor.CSREntry{Col: e.To, Val: 1 / (dv * math.Sqrt(deg[e.To]))})
 			rev[v] = append(rev[v], tensor.CSREntry{Col: e.To, Val: 1 / float64(max(1, len(g.in[v])))})
 		}
 	}
@@ -352,6 +385,36 @@ func (g *Dynamic) refreshCaches() {
 	g.rwFwd = tensor.NewCSR(n, n, fwd)
 	g.rwRev = tensor.NewCSR(n, n, rev)
 	g.cacheVersion = g.version
+}
+
+// WalkAdj returns the unweighted undirected walk adjacency used by the
+// graph-KDE density: row v lists v's out-edge targets then in-edge sources,
+// each with unit value, so RowNNZ(v) == Degree(v) and the entry order matches
+// iterating OutEdges then InEdges. The CSR is cached per EdgeVersion and
+// rebuilt into a fresh allocation, so a pointer captured by a serving
+// snapshot stays immutable while the graph keeps mutating.
+func (g *Dynamic) WalkAdj() *tensor.CSR {
+	if g.walkAdj != nil && g.walkVersion == g.edgeVersion && g.walkAdj.NRows == g.N() {
+		return g.walkAdj
+	}
+	n := g.N()
+	entries := make([][]tensor.CSREntry, n)
+	for v := 0; v < n; v++ {
+		if g.Degree(v) == 0 {
+			continue
+		}
+		row := make([]tensor.CSREntry, 0, g.Degree(v))
+		for _, e := range g.out[v] {
+			row = append(row, tensor.CSREntry{Col: e.To, Val: 1})
+		}
+		for _, e := range g.in[v] {
+			row = append(row, tensor.CSREntry{Col: e.To, Val: 1})
+		}
+		entries[v] = row
+	}
+	g.walkAdj = tensor.NewCSR(n, n, entries)
+	g.walkVersion = g.edgeVersion
+	return g.walkAdj
 }
 
 // NormAdj returns the symmetric GCN-normalized adjacency

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"streamgnn/internal/graph"
+	"streamgnn/internal/tensor"
 )
 
 // GraphKDEDensity computes, in closed form, the sampling density that
@@ -18,7 +19,17 @@ import (
 // The series Σ_h q(1−q)^h π_h is truncated once the remaining walk mass
 // drops below tol, after at most maxHops steps.
 func GraphKDEDensity(g *graph.Dynamic, seeds []int, weights []float64, q float64, maxHops int, tol float64) ([]float64, error) {
-	n := g.N()
+	return GraphKDEDensityCSR(g.WalkAdj(), seeds, weights, q, maxHops, tol)
+}
+
+// GraphKDEDensityCSR is GraphKDEDensity over a frozen walk adjacency (one row
+// per node, entries the node's out-edge targets then in-edge sources — the
+// shape graph.Dynamic.WalkAdj returns). Because the CSR is immutable, a
+// serving snapshot can capture it at publish time and evaluate the density
+// lock-free while the live graph keeps mutating; the per-entry accumulation
+// order matches the live-graph walk exactly, so both paths are bit-identical.
+func GraphKDEDensityCSR(adj *tensor.CSR, seeds []int, weights []float64, q float64, maxHops int, tol float64) ([]float64, error) {
+	n := adj.NRows
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("kde: no seeds")
 	}
@@ -60,8 +71,7 @@ func GraphKDEDensity(g *graph.Dynamic, seeds []int, weights []float64, q float64
 			if cur[v] == 0 {
 				continue
 			}
-			deg := g.Degree(v)
-			if deg == 0 {
+			if adj.RowNNZ(v) == 0 {
 				density[v] += cur[v]
 			} else {
 				density[v] += q * cur[v]
@@ -79,16 +89,13 @@ func GraphKDEDensity(g *graph.Dynamic, seeds []int, weights []float64, q float64
 			if cur[v] == 0 {
 				continue
 			}
-			deg := g.Degree(v)
+			deg := adj.RowNNZ(v)
 			if deg == 0 {
 				continue
 			}
 			move := (1 - q) * cur[v] / float64(deg)
-			for _, e := range g.OutEdges(v) {
-				next[e.To] += move
-			}
-			for _, e := range g.InEdges(v) {
-				next[e.To] += move
+			for p := adj.RowPtr[v]; p < adj.RowPtr[v+1]; p++ {
+				next[adj.ColIdx[p]] += move
 			}
 			surviving += (1 - q) * cur[v]
 		}

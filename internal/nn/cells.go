@@ -43,6 +43,10 @@ func (c *GRUCell) Params() []*autodiff.Node {
 // Hidden returns the hidden dimension.
 func (c *GRUCell) Hidden() int { return c.hidden }
 
+// Gates exposes the update, reset, and candidate transforms for value-level
+// row kernels.
+func (c *GRUCell) Gates() (z, r, cand *Linear) { return c.wz, c.wr, c.wc }
+
 // LSTMCell is a dense long short-term memory cell over row-batched inputs.
 type LSTMCell struct {
 	wi, wf, wo, wg *Linear
@@ -80,6 +84,10 @@ func (c *LSTMCell) Params() []*autodiff.Node {
 // Hidden returns the hidden dimension.
 func (c *LSTMCell) Hidden() int { return c.hidden }
 
+// Gates exposes the input, forget, output, and candidate transforms for
+// value-level row kernels.
+func (c *LSTMCell) Gates() (i, f, o, g *Linear) { return c.wi, c.wf, c.wo, c.wg }
+
 // GraphConvFn applies some graph convolution to x; it abstracts over GCN and
 // diffusion convolutions so the gated cells below can host either.
 type GraphConvFn func(tp *autodiff.Tape, x *autodiff.Node) *autodiff.Node
@@ -115,6 +123,10 @@ func (c *ConvGRUCell) Params() []*autodiff.Node {
 // Hidden returns the hidden dimension.
 func (c *ConvGRUCell) Hidden() int { return c.hidden }
 
+// Gates exposes the update, reset, and candidate conv modules for value-level
+// row kernels.
+func (c *ConvGRUCell) Gates() (z, r, cand Module) { return c.convZ, c.convR, c.convC }
+
 // ConvLSTMCell is an LSTM whose gate transforms are graph convolutions
 // (the recurrence of GCLSTM).
 type ConvLSTMCell struct {
@@ -146,6 +158,10 @@ func (c *ConvLSTMCell) Params() []*autodiff.Node {
 
 // Hidden returns the hidden dimension.
 func (c *ConvLSTMCell) Hidden() int { return c.hidden }
+
+// Gates exposes the input, forget, output, and candidate conv modules for
+// value-level row kernels.
+func (c *ConvLSTMCell) Gates() (i, f, o, g Module) { return c.convI, c.convF, c.convO, c.convG }
 
 // ZeroState returns an n×dim zero matrix (initial recurrent state).
 func ZeroState(n, dim int) *tensor.Matrix { return tensor.New(n, dim) }

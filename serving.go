@@ -2,6 +2,7 @@ package streamgnn
 
 import (
 	"fmt"
+	"sync"
 
 	"streamgnn/internal/core"
 	"streamgnn/internal/kde"
@@ -26,6 +27,24 @@ type QuerySnapshot struct {
 	step  int
 	emb   *tensor.Matrix
 	heads *query.Heads
+
+	// Density capture: the KDE seed window, its chip weights, the frozen
+	// walk adjacency and the stop probability as of this step. The density
+	// vector itself is evaluated lazily, at most once, on first demand —
+	// most batches carry no density query, and the capture (two small slice
+	// copies plus a cached CSR pointer) is cheap enough to do every step.
+	// densityErr records a capture-time condition (no adaptive scheduler,
+	// empty seed window) and makes Density fail exactly like
+	// SeedWindowDensity would have.
+	walkAdj     *tensor.CSR
+	seeds       []int
+	seedWeights []float64
+	stopProb    float64
+	densityErr  error
+
+	densityOnce sync.Once
+	density     []float64
+	densityEval error
 }
 
 // Step returns the stream step the snapshot's embeddings were computed at.
@@ -43,10 +62,28 @@ func (s *QuerySnapshot) Rows() int {
 // one stacked head application per task kind instead of one per query, with
 // answers in request order, bit-identical to answering each query alone (see
 // query.AnswerBatch). density is the shared seed-window density vector for
-// KindDensity requests (from Engine.SeedWindowDensity; nil disables them).
-// Safe to call from any number of goroutines concurrently with Engine.Step.
+// KindDensity requests (from Density; nil disables them). Safe to call from
+// any number of goroutines concurrently with Engine.Step.
 func (s *QuerySnapshot) Answer(reqs []query.Request, density []float64) []query.Answer {
 	return query.AnswerBatch(s.heads, s.emb, reqs, density)
+}
+
+// Density returns the KDE seed-window density vector as of the snapshot's
+// step — the quantity KindDensity queries serve — evaluating it lazily on
+// first call and sharing the result across callers. Unlike
+// Engine.SeedWindowDensity it reads only state frozen at publication (the
+// seed window, chip weights and walk adjacency captured by the step), so it
+// is safe from any goroutine concurrently with Engine.Step and never touches
+// the engine's step lock. Errors mirror SeedWindowDensity's: no adaptive
+// scheduler at capture time, or an empty seed window.
+func (s *QuerySnapshot) Density() ([]float64, error) {
+	if s.densityErr != nil {
+		return nil, s.densityErr
+	}
+	s.densityOnce.Do(func() {
+		s.density, s.densityEval = kde.GraphKDEDensityCSR(s.walkAdj, s.seeds, s.seedWeights, s.stopProb, 64, 1e-9)
+	})
+	return s.density, s.densityEval
 }
 
 // QuerySnapshot returns the serving snapshot published by the most recent
@@ -70,29 +107,38 @@ func (e *Engine) publishServing(step int) {
 	if e.emb.Valid() && e.emb.Matrix() == m {
 		m = e.emb.Publish()
 	}
-	e.serving.Store(&QuerySnapshot{step: step, emb: m, heads: e.wl.Heads().Clone()})
+	snap := &QuerySnapshot{step: step, emb: m, heads: e.wl.Heads().Clone(), stopProb: e.ccfg.StopProb}
+	seeds, weights, err := e.densityInputs()
+	if err != nil {
+		snap.densityErr = err
+	} else {
+		// WalkAdj is rebuilt fresh on change and never mutated after being
+		// returned, so the captured pointer stays frozen at this step's
+		// topology while the live graph moves on.
+		snap.walkAdj = e.g.WalkAdj()
+		snap.seeds, snap.seedWeights = seeds, weights
+	}
+	e.serving.Store(snap)
 }
 
-// SeedWindowDensity evaluates the graph-KDE sampling density over all nodes
-// from the current seed window, weighted by the learned chip weights — the
-// quantity KindDensity queries serve. One evaluation is shared by a whole
-// query batch. It reads the live graph and scheduler, so unlike
-// QuerySnapshot.Answer it must be called between Step calls (or under the
-// caller's step lock). Errors when the adaptive scheduler or its KDE sampler
-// is not running (strategy "full" or "weighted", or before the first Step).
-func (e *Engine) SeedWindowDensity() ([]float64, error) {
+// densityInputs gathers the current KDE seed window and its effective chip
+// weights (uniform fallback when every seed chip is inactive), the inputs
+// both SeedWindowDensity and the per-step snapshot capture evaluate the
+// density from. Errors when the adaptive scheduler or its KDE sampler is not
+// running.
+func (e *Engine) densityInputs() (seeds []int, weights []float64, err error) {
 	if e.sched == nil || e.sched.Adaptive == nil {
-		return nil, fmt.Errorf("streamgnn: no adaptive scheduler (strategy %q, or no Step yet)", e.cfg.Strategy)
+		return nil, nil, fmt.Errorf("streamgnn: no adaptive scheduler (strategy %q, or no Step yet)", e.cfg.Strategy)
 	}
 	ks, ok := e.sched.Adaptive.Sampler().(*core.KDESampler)
 	if !ok {
-		return nil, fmt.Errorf("streamgnn: strategy %q has no KDE seed window", e.cfg.Strategy)
+		return nil, nil, fmt.Errorf("streamgnn: strategy %q has no KDE seed window", e.cfg.Strategy)
 	}
-	seeds := ks.Seeds()
+	seeds = ks.Seeds()
 	if len(seeds) == 0 {
-		return nil, fmt.Errorf("streamgnn: empty KDE seed window")
+		return nil, nil, fmt.Errorf("streamgnn: empty KDE seed window")
 	}
-	weights := make([]float64, len(seeds))
+	weights = make([]float64, len(seeds))
 	var total float64
 	for i, s := range seeds {
 		weights[i] = e.sched.Adaptive.Chips.EffectiveWeight(s)
@@ -104,6 +150,23 @@ func (e *Engine) SeedWindowDensity() ([]float64, error) {
 		for i := range weights {
 			weights[i] = 1
 		}
+	}
+	return seeds, weights, nil
+}
+
+// SeedWindowDensity evaluates the graph-KDE sampling density over all nodes
+// from the current seed window, weighted by the learned chip weights — the
+// quantity KindDensity queries serve. One evaluation is shared by a whole
+// query batch. It reads the live graph and scheduler, so unlike
+// QuerySnapshot.Answer it must be called between Step calls (or under the
+// caller's step lock). Errors when the adaptive scheduler or its KDE sampler
+// is not running (strategy "full" or "weighted", or before the first Step).
+// Serving paths should prefer QuerySnapshot.Density, which evaluates the
+// same vector from state frozen at publication and needs no lock.
+func (e *Engine) SeedWindowDensity() ([]float64, error) {
+	seeds, weights, err := e.densityInputs()
+	if err != nil {
+		return nil, err
 	}
 	return kde.GraphKDEDensity(e.g, seeds, weights, e.ccfg.StopProb, 64, 1e-9)
 }

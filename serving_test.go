@@ -152,11 +152,129 @@ func TestSeedWindowDensity(t *testing.T) {
 		t.Fatalf("nil density accepted: %+v", a)
 	}
 
-	// Strategies without a KDE seed window refuse.
+	// Strategies without a KDE seed window refuse — on the engine and on the
+	// snapshot alike.
 	cfg2 := DefaultConfig()
 	cfg2.Strategy = StrategyFull
 	cfg2.Hidden = 6
-	if _, err := endToEnd(t, cfg2, 2).SeedWindowDensity(); err == nil {
+	e2 := endToEnd(t, cfg2, 2)
+	if _, err := e2.SeedWindowDensity(); err == nil {
 		t.Fatal("full strategy returned a seed-window density")
+	}
+	if _, err := e2.QuerySnapshot().Density(); err == nil {
+		t.Fatal("full strategy's snapshot returned a density")
+	}
+}
+
+// The snapshot's lazily evaluated density must be bit-identical to the
+// engine's live SeedWindowDensity when nothing stepped in between: both walk
+// the same seed window, chip weights and adjacency in the same accumulation
+// order.
+func TestSnapshotDensityMatchesSeedWindowDensity(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Strategy = StrategyKDE
+	cfg.Hidden = 6
+	e := endToEnd(t, cfg, 6)
+	want, err := e.SeedWindowDensity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.QuerySnapshot().Density()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameMatrix(t, e.CurrentStep(), want, got)
+	// A density answer off the snapshot serves exactly this vector.
+	snap := e.QuerySnapshot()
+	ans := snap.Answer([]query.Request{{Kind: query.KindDensity, Node: 2}}, got)
+	if !ans[0].OK || ans[0].Score != want[2] {
+		t.Fatalf("density answer %+v, want score %v", ans[0], want[2])
+	}
+	// Mutating and stepping publishes a fresh capture; the held snapshot's
+	// vector does not move.
+	e.AddEdge(0, 7, 0)
+	if err := e.Step(); err != nil {
+		t.Fatal(err)
+	}
+	again, err := snap.Density()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameMatrix(t, e.CurrentStep(), want, again)
+}
+
+// A held snapshot must keep answering density queries bit-identically while
+// the engine steps and mutates the graph — run with -race: the stepper
+// rebuilds the walk adjacency and rotates the seed window, and the reader
+// evaluates the captured ones, so any sharing of mutable state is a data
+// race. This is the regression test for density queries acquiring the engine
+// step lock: the reader never touches the engine, only the snapshot.
+func TestDensityStableUnderConcurrentSteps(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Strategy = StrategyKDE
+	cfg.Hidden = 6
+	cfg.Interval = 2
+	e := endToEnd(t, cfg, 4)
+	snap := e.QuerySnapshot()
+	want, err := snap.Density()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := []query.Request{{Kind: query.KindDensity, Node: 1}, {Kind: query.KindDensity, Node: 9}}
+	wantAns := snap.Answer(reqs, want)
+
+	rng := rand.New(rand.NewSource(5))
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the step loop: the only goroutine mutating the engine
+		defer wg.Done()
+		defer close(done)
+		for s := 0; s < 12; s++ {
+			e.AddEdge(rng.Intn(e.NumNodes()), rng.Intn(e.NumNodes()), 0)
+			if err := e.Step(); err != nil {
+				t.Errorf("step: %v", err)
+				return
+			}
+		}
+	}()
+	for alive := true; alive; {
+		select {
+		case <-done:
+			alive = false
+		default:
+		}
+		got, err := snap.Density()
+		if err != nil {
+			t.Errorf("held snapshot's density failed: %v", err)
+			break
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("held snapshot's density[%d] drifted: %v != %v", i, got[i], want[i])
+				alive = false
+				break
+			}
+		}
+		gotAns := snap.Answer(reqs, got)
+		for i := range wantAns {
+			if gotAns[i] != wantAns[i] {
+				t.Errorf("held snapshot's density answer %d drifted: %+v != %+v", i, gotAns[i], wantAns[i])
+				alive = false
+				break
+			}
+		}
+		// Fresh snapshots evaluate their own captures concurrently with the
+		// stepper — lock-free for every query kind.
+		if fresh := e.QuerySnapshot(); fresh != nil {
+			if _, err := fresh.Density(); err != nil {
+				t.Errorf("fresh snapshot's density failed: %v", err)
+				alive = false
+			}
+		}
+	}
+	wg.Wait()
+	if fresh := e.QuerySnapshot(); fresh == snap || fresh.Step() <= snap.Step() {
+		t.Fatal("engine did not publish fresh snapshots while stepping")
 	}
 }

@@ -138,13 +138,34 @@ type Config struct {
 	// DirtyFullThreshold is the compute-region fraction above which an
 	// incremental step falls back to a full forward (recomputing a large
 	// region via a subgraph costs more than the dense full pass). 0 means
-	// the default (0.25); values >= 1 never fall back; negative is
-	// rejected. Only meaningful with IncrementalForward.
+	// the default (0.25); a value of 1 never falls back; values outside
+	// [0, 1] are rejected (a fraction above 1 is meaningless and used to be
+	// accepted silently). Only meaningful with IncrementalForward. With
+	// DeltaForward it bounds the per-stage candidate set instead.
 	DirtyFullThreshold float64
 	// RefreshEverySteps, when > 0, forces a full forward at least every
 	// this many steps in incremental mode, bounding the staleness of
 	// recurrent models' frozen rows. 0 never forces a refresh.
 	RefreshEverySteps int
+
+	// DeltaForward switches incremental inference from region splicing to
+	// event-driven delta propagation: per-edge changes propagate stage by
+	// stage through the model, recomputing single rows and pruning frontier
+	// nodes whose recomputation stays within DeltaEpsilon of the cached
+	// value. Where region splicing recomputes the induced subgraph of
+	// Ball(Ball(S,L),L) — which explodes into a full forward as soon as a
+	// high-degree hub turns dirty — delta propagation's cost tracks the
+	// number of rows that actually change. Implies IncrementalForward.
+	// Models without a delta decomposition (DCRNN, EvolveGCN) silently keep
+	// the splice ladder. See DESIGN.md §14.
+	DeltaForward bool
+	// DeltaEpsilon is the per-component pruning threshold of DeltaForward:
+	// a recomputed stage row within epsilon of its cached value is
+	// discarded, stopping propagation through it. 0 (the default) prunes
+	// only bit-identical rows, keeping delta forwards bit-identical to full
+	// forwards; larger values trade bounded per-stage error for a smaller
+	// frontier. Must lie in [0, 1].
+	DeltaEpsilon float64
 
 	// KernelWorkers sets the process-wide tensor-kernel parallelism
 	// (tensor.SetParallelism): shards of dense matmuls and SpMM run on this
@@ -195,6 +216,11 @@ func (c Config) fill() (Config, core.Config) {
 	if c.Shards > 1 {
 		// The sharded pipeline is the incremental path's fan-out; a full
 		// forward has no per-shard structure to exploit.
+		c.IncrementalForward = true
+	}
+	if c.DeltaForward {
+		// Delta propagation is a refinement of incremental inference: it
+		// needs the same dirty tracking and embedding cache.
 		c.IncrementalForward = true
 	}
 	cc := core.DefaultConfig()
@@ -345,6 +371,8 @@ type Engine struct {
 	step        int
 	lastEmb     *tensor.Matrix
 	emb         *dgnn.EmbStore  // managed embedding cache (incremental mode)
+	delta       dgnn.DeltaState // per-stage delta caches (DeltaForward mode)
+	deltaFwd    dgnn.DeltaForwarder
 	shards      *shard.Sharding // node-space partition; nil when Shards <= 1
 	mkScheduler func() (*core.Scheduler, error)
 	// pending is checkpoint state that can only be applied once the
@@ -396,8 +424,11 @@ func NewEngine(featDim int, cfg Config) (*Engine, error) {
 	if err := ccfg.Validate(); err != nil {
 		return nil, err
 	}
-	if cfg.DirtyFullThreshold < 0 {
-		return nil, fmt.Errorf("streamgnn: DirtyFullThreshold must be >= 0, got %g", cfg.DirtyFullThreshold)
+	if cfg.DirtyFullThreshold < 0 || cfg.DirtyFullThreshold > 1 {
+		return nil, fmt.Errorf("streamgnn: DirtyFullThreshold is a fraction of the graph and must lie in [0, 1], got %g", cfg.DirtyFullThreshold)
+	}
+	if cfg.DeltaEpsilon < 0 || cfg.DeltaEpsilon > 1 {
+		return nil, fmt.Errorf("streamgnn: DeltaEpsilon must lie in [0, 1], got %g", cfg.DeltaEpsilon)
 	}
 	if cfg.Shards < 0 {
 		return nil, fmt.Errorf("streamgnn: Shards must be >= 0, got %d", cfg.Shards)
@@ -437,6 +468,13 @@ func NewEngine(featDim int, cfg Config) (*Engine, error) {
 	e.tele.init(cfg.Shards)
 	if cfg.IncrementalForward {
 		g.EnableDirtyTracking()
+	}
+	if cfg.DeltaForward {
+		// Models without a delta decomposition keep the splice ladder;
+		// deltaFwd stays nil and runForward dispatches as before.
+		if df, ok := model.(dgnn.DeltaForwarder); ok {
+			e.deltaFwd = df
+		}
 	}
 	if cfg.DriftDetection {
 		e.driftDet = drift.NewPageHinkley(0.05, 3)
@@ -581,7 +619,7 @@ func (e *Engine) Step() error {
 		// is stale — not just the dirty region. The next forward runs full.
 		// Incremental inference therefore pays off on the steps *between*
 		// training steps (Interval > 1) and on quiet stretches of the stream.
-		e.emb.Invalidate()
+		e.invalidateInference()
 	}
 	e.tele.phases[phaseTrain].ObserveSince(phaseStart)
 
@@ -637,6 +675,10 @@ func (e *Engine) runForward(t int) {
 		tp := autodiff.NewTape()
 		e.lastEmb = e.model.Forward(tp, dgnn.FullView(e.g)).Value
 		e.tele.fullForwards.Inc()
+		return
+	}
+	if e.deltaFwd != nil {
+		e.runDeltaForward(t)
 		return
 	}
 
@@ -704,6 +746,69 @@ func (e *Engine) runForward(t int) {
 	e.tele.incForwards.Inc()
 	e.tele.skippedRows.Add(int64(n - len(region)))
 	e.tele.dirtyFrac.Observe(float64(len(region)) / float64(n))
+}
+
+// invalidateInference drops every inference cache after a parameter change:
+// the embedding store and, in delta mode, the per-stage delta caches (their
+// rows were produced by the old weights).
+func (e *Engine) invalidateInference() {
+	e.emb.Invalidate()
+	e.delta.Invalidate()
+}
+
+// runDeltaForward is the event-driven variant of the incremental forward
+// (Config.DeltaForward): per-edge deltas propagate stage by stage through the
+// model's delta decomposition, recomputing single rows and pruning frontier
+// nodes whose change stays within DeltaEpsilon. The fallback ladder is
+//
+//	invalid caches / refresh due  →  full delta forward (refills caches)
+//	quiet step                    →  serve the cache
+//	frontier above the candidate budget (dirtyFullThreshold · n per stage)
+//	                              →  abort, commit nothing, full delta forward
+//
+// The full delta forward is bit-identical to the tape's full forward, so the
+// serving path and checkpoint regime see exactly the matrices they would see
+// under region splicing's full fallback.
+func (e *Engine) runDeltaForward(t int) {
+	dirty := e.g.TakeDirty()
+	n := e.g.N()
+	full := !e.emb.Valid() || !e.delta.Valid()
+	if !full && e.cfg.RefreshEverySteps > 0 && t-e.emb.LastFullStep() >= e.cfg.RefreshEverySteps {
+		full = true
+	}
+	if !full && len(dirty) == 0 && len(e.delta.LastCommitted()) == 0 && e.emb.Rows() == n {
+		// Quiet step: no graph change and no recurrent-state drift pending.
+		e.lastEmb = e.emb.Matrix()
+		e.tele.incForwards.Inc()
+		e.tele.skippedRows.Add(int64(n))
+		e.tele.dirtyFrac.Observe(0)
+		return
+	}
+	if !full {
+		maxCand := int(e.dirtyFullThreshold() * float64(n))
+		res := dgnn.RunDelta(e.g, e.deltaFwd, &e.delta, e.emb, dirty, e.cfg.DeltaEpsilon, maxCand)
+		if !res.Aborted {
+			e.lastEmb = res.Out
+			e.tele.deltaForwards.Inc()
+			e.tele.incForwards.Inc()
+			e.tele.deltaCandidateRows.Add(int64(res.Candidates))
+			e.tele.deltaPrunedRows.Add(int64(res.Pruned))
+			e.tele.skippedRows.Add(int64(n - (res.Candidates - res.Pruned)))
+			if res.Candidates > 0 {
+				e.tele.deltaPrunedFrac.Observe(float64(res.Pruned) / float64(res.Candidates))
+			}
+			e.tele.dirtyFrac.Observe(float64(res.Candidates) / float64(n*e.deltaFwd.DeltaStages()))
+			return
+		}
+		e.tele.deltaAborts.Inc()
+	}
+	// Full delta forward: refills every stage cache alongside the embedding,
+	// bit-identical to the tape's full pass.
+	out := dgnn.RunDeltaFull(e.g, e.deltaFwd, &e.delta)
+	e.emb.SetFull(out, t)
+	e.lastEmb = out
+	e.tele.fullForwards.Inc()
+	e.tele.dirtyFrac.Observe(1)
 }
 
 // applyPendingRestore pushes checkpoint state stashed by LoadCheckpoint into

@@ -47,6 +47,16 @@ type engineTelemetry struct {
 	skippedRows  obs.Counter
 	dirtyFrac    *obs.Histogram
 
+	// Delta-propagation instruments (only move with Config.DeltaForward):
+	// steps served by a delta pass, passes aborted on the candidate budget,
+	// candidate rows recomputed vs. pruned sub-epsilon, and the per-pass
+	// pruned-frontier fraction distribution.
+	deltaForwards      obs.Counter
+	deltaAborts        obs.Counter
+	deltaCandidateRows obs.Counter
+	deltaPrunedRows    obs.Counter
+	deltaPrunedFrac    *obs.Histogram
+
 	// Sharded-pipeline instruments (nil/empty when Shards <= 1): the
 	// latency of the deterministic cross-shard merge phase and, per shard,
 	// the embedding rows its forwards contributed.
@@ -60,6 +70,7 @@ func (t *engineTelemetry) init(shards int) {
 		t.phases[i] = obs.NewHistogram(obs.DefaultLatencyBuckets())
 	}
 	t.dirtyFrac = obs.NewHistogram(obs.FractionBuckets())
+	t.deltaPrunedFrac = obs.NewHistogram(obs.FractionBuckets())
 	if shards > 1 {
 		t.shardMerge = obs.NewHistogram(obs.DefaultLatencyBuckets())
 		t.shardRows = make([]obs.Counter, shards)
@@ -110,8 +121,23 @@ type Telemetry struct {
 	SkippedRows int64
 	// DirtyFraction is the per-step distribution of |compute region| / |V|
 	// in incremental mode: 0 for quiet steps, 1 for fallback full forwards.
-	// Empty unless Config.IncrementalForward is set.
+	// Empty unless Config.IncrementalForward is set. In delta mode the
+	// observation is candidate rows over |V|·stages.
 	DirtyFraction TelemetryHistogram
+
+	// Delta-propagation fields, zero unless Config.DeltaForward is set and
+	// the model has a delta decomposition. DeltaForwards counts steps served
+	// by a delta pass (also counted in IncrementalForwards); DeltaAborts
+	// counts passes whose candidate set blew the budget and fell back to a
+	// full forward. DeltaCandidateRows and DeltaPrunedRows total the stage
+	// rows recomputed and the subset discarded sub-epsilon;
+	// DeltaPrunedFraction is the per-pass pruned/candidates distribution —
+	// the pruned-frontier fraction.
+	DeltaForwards       int64
+	DeltaAborts         int64
+	DeltaCandidateRows  int64
+	DeltaPrunedRows     int64
+	DeltaPrunedFraction TelemetryHistogram
 
 	// Sharded-pipeline fields, zero/nil unless Config.Shards > 1.
 	// Shards is the partition width P; ShardNodes the current node
@@ -140,6 +166,11 @@ func (e *Engine) Telemetry() Telemetry {
 		IncrementalForwards: e.tele.incForwards.Value(),
 		SkippedRows:         e.tele.skippedRows.Value(),
 		DirtyFraction:       histSnapshot(e.tele.dirtyFrac),
+		DeltaForwards:       e.tele.deltaForwards.Value(),
+		DeltaAborts:         e.tele.deltaAborts.Value(),
+		DeltaCandidateRows:  e.tele.deltaCandidateRows.Value(),
+		DeltaPrunedRows:     e.tele.deltaPrunedRows.Value(),
+		DeltaPrunedFraction: histSnapshot(e.tele.deltaPrunedFrac),
 	}
 	for i, name := range StepPhases() {
 		t.Phases[name] = histSnapshot(e.tele.phases[i])

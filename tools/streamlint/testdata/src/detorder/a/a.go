@@ -90,6 +90,35 @@ func histogram(m map[int]float64, bins []float64) {
 	}
 }
 
+// Positive: the delta-propagation anti-pattern — a frontier kept as a set
+// and expanded by ranging over it. The candidate list comes out in
+// randomized order, so stage splices (and their float accumulation) differ
+// across runs.
+func expandFrontier(frontier map[int]bool, adj [][]int) []int {
+	var cand []int
+	for v := range frontier {
+		cand = append(cand, v) // want `cand collects map keys in randomized iteration order`
+		cand = append(cand, adj[v]...)
+	}
+	return cand
+}
+
+// Negative: the dgnn.RunDelta idiom — drain the frontier set into a slice,
+// sort it, then expand deterministically.
+func expandFrontierSorted(frontier map[int]bool, adj [][]int) []int {
+	ids := make([]int, 0, len(frontier))
+	for v := range frontier {
+		ids = append(ids, v)
+	}
+	sort.Ints(ids)
+	var cand []int
+	for _, v := range ids {
+		cand = append(cand, v)
+		cand = append(cand, adj[v]...)
+	}
+	return cand
+}
+
 // Escape hatch: a justified //streamlint:ordered-ok waives the check.
 func waived(m map[int]float64) float64 {
 	var total float64
