@@ -34,9 +34,14 @@ import (
 // caches of the uninterrupted run instead of resynchronizing with a full
 // forward; the fields gob-decode to zero from v3-v5 checkpoints, which simply
 // leaves the caches invalid (the first resumed delta step runs full — at
-// epsilon 0 that is bit-identical anyway).
+// epsilon 0 that is bit-identical anyway). Version 7 adds the dependency
+// scheduler's observability counters (SchedSteps/SchedGroups/SchedUnits/
+// SchedCollapsed) — the scheduler keeps no other persistent state (its
+// conflict scratch and gradient sinks are rebuilt every step), so resumed
+// runs stay bit-identical; the fields gob-decode to zero from older
+// checkpoints.
 const (
-	checkpointVersion    = 6
+	checkpointVersion    = 7
 	checkpointVersionMin = 3
 )
 
@@ -90,6 +95,13 @@ type checkpoint struct {
 	Delta          []dgnn.StateDump
 	DeltaCommitted []int
 	HasDelta       bool
+
+	// Dependency-scheduler counters (v7): steps, groups, units, collapsed
+	// steps. Zero in pre-v7 checkpoints.
+	SchedSteps     int64
+	SchedGroups    int64
+	SchedUnits     int64
+	SchedCollapsed int64
 }
 
 // CheckpointInfo is the identifying header of a saved checkpoint.
@@ -170,6 +182,8 @@ func (e *Engine) SaveCheckpoint(w io.Writer) error {
 		if a := e.sched.Adaptive; a != nil {
 			ck.Chips = a.Chips.Counts()
 			ck.Trained, ck.Moves, ck.ParallelUnits = a.Trained, a.Moves, a.ParallelUnits
+			ck.SchedSteps, ck.SchedGroups = a.SchedSteps, a.SchedGroups
+			ck.SchedUnits, ck.SchedCollapsed = a.SchedUnits, a.SchedCollapsed
 			if ks, ok := a.Sampler().(*core.KDESampler); ok {
 				ck.KDESeeds, ck.KDEOldest = ks.SeedState()
 				ck.HasKDESeeds = true
@@ -181,6 +195,8 @@ func (e *Engine) SaveCheckpoint(w io.Writer) error {
 		p := e.pending
 		ck.Chips = append([]int(nil), p.chips...)
 		ck.TrainSteps, ck.Trained, ck.Moves, ck.ParallelUnits = p.trainSteps, p.trained, p.moves, p.parallelUnits
+		ck.SchedSteps, ck.SchedGroups = p.schedSteps, p.schedGroups
+		ck.SchedUnits, ck.SchedCollapsed = p.schedUnits, p.schedCollapse
 		ck.KDESeeds, ck.KDEOldest, ck.HasKDESeeds = append([]int(nil), p.kdeSeeds...), p.kdeOldest, p.hasKDE
 	}
 	return gob.NewEncoder(w).Encode(ck)
@@ -264,6 +280,10 @@ func (e *Engine) LoadCheckpoint(r io.Reader) error {
 		trained:       ck.Trained,
 		moves:         ck.Moves,
 		parallelUnits: ck.ParallelUnits,
+		schedSteps:    ck.SchedSteps,
+		schedGroups:   ck.SchedGroups,
+		schedUnits:    ck.SchedUnits,
+		schedCollapse: ck.SchedCollapsed,
 		kdeSeeds:      ck.KDESeeds,
 		kdeOldest:     ck.KDEOldest,
 		hasKDE:        ck.HasKDESeeds,

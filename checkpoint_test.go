@@ -230,6 +230,21 @@ func TestCheckpointResumeEqualityIncremental(t *testing.T) {
 	resumeEquality(t, cfg)
 }
 
+// Resume equality under the conflict-group scheduler: the scheduler keeps no
+// persistent state beyond its observability counters (v7) — conflict scratch
+// and gradient sinks are rebuilt every step — so a resumed scheduled run must
+// match the uninterrupted one bit for bit, counters included (Stats are
+// compared verbatim above). Workers 4 keeps the group pool genuinely
+// concurrent across the save point.
+func TestCheckpointResumeEqualityDependencySchedule(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Strategy = StrategyWeighted
+	cfg.Hidden = 6
+	cfg.DependencySchedule = true
+	cfg.Workers = 4
+	resumeEquality(t, cfg)
+}
+
 // WinGNN resume equality: the winOptimizer's gradient-window history and
 // random stream ride along in the checkpoint's optimizer state (v4), so a
 // resumed WinGNN run must match the uninterrupted one bit for bit — the

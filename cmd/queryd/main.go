@@ -69,6 +69,7 @@ func main() {
 	dirtyThreshold := flag.Float64("dirty-threshold", 0, "with -incremental: compute-region fraction in [0,1] above which a step falls back to a full forward (0 = engine default of 0.25, 1 never falls back)")
 	delta := flag.Bool("delta", false, "event-driven delta-propagation forward instead of region splicing (implies -incremental; see DESIGN.md §14)")
 	deltaEps := flag.Float64("delta-eps", 0, "with -delta: per-component pruning threshold in [0,1]; 0 keeps delta forwards bit-identical to full forwards")
+	depSchedule := flag.Bool("dep-schedule", false, "conflict-group scheduling of the training apply phase: backprop and gradient accumulation run concurrently across dependency-free partition groups (see DESIGN.md §15)")
 	interval := flag.Int("interval", 0, "steps between training steps (0 = engine default of 1; raise so -incremental can reuse cached embeddings between training steps)")
 	kernelWorkers := flag.Int("kernel-workers", 0, "tensor-kernel parallelism (0 = serial, negative = NumCPU)")
 	shards := flag.Int("shards", 0, "partition the node space into this many shards and fan incremental forwards out per shard (0/1 = unsharded; >1 implies -incremental; see DESIGN.md §12)")
@@ -84,7 +85,8 @@ func main() {
 		incremental: *incremental, refreshEvery: *refreshEvery,
 		dirtyThreshold: *dirtyThreshold,
 		delta:          *delta, deltaEps: *deltaEps,
-		interval: *interval, kernelWorkers: *kernelWorkers,
+		depSchedule: *depSchedule,
+		interval:    *interval, kernelWorkers: *kernelWorkers,
 		shards: *shards, shardLayout: *shardLayout,
 		batchMax: *batchMax, batchWait: *batchWait,
 	}
@@ -109,6 +111,7 @@ type options struct {
 	dirtyThreshold                  float64
 	delta                           bool
 	deltaEps                        float64
+	depSchedule                     bool
 	interval                        int
 	kernelWorkers                   int
 	shards                          int
@@ -164,6 +167,7 @@ func run(opts options) error {
 		DirtyFullThreshold: opts.dirtyThreshold,
 		DeltaForward:       opts.delta,
 		DeltaEpsilon:       opts.deltaEps,
+		DependencySchedule: opts.depSchedule,
 		Interval:           opts.interval,
 		KernelWorkers:      opts.kernelWorkers,
 		Shards:             opts.shards,
@@ -609,6 +613,18 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	obs.WriteIntValue(&b, "streamgnn_partition_cache_events_total", `event="invalidation"`, st.CacheInvalidations)
 	obs.WriteHeader(&b, "streamgnn_parallel_units_total", "Training units evaluated on worker goroutines.", "counter")
 	obs.WriteIntValue(&b, "streamgnn_parallel_units_total", "", st.ParallelUnits)
+	if tel.SchedSteps > 0 {
+		obs.WriteHeader(&b, "streamgnn_sched_steps_total", "Training rounds run under the conflict-group schedule.", "counter")
+		obs.WriteIntValue(&b, "streamgnn_sched_steps_total", "", tel.SchedSteps)
+		obs.WriteHeader(&b, "streamgnn_sched_groups_total", "Conflict groups formed across scheduled rounds.", "counter")
+		obs.WriteIntValue(&b, "streamgnn_sched_groups_total", "", tel.SchedGroups)
+		obs.WriteHeader(&b, "streamgnn_sched_units_total", "Training units scheduled across conflict groups.", "counter")
+		obs.WriteIntValue(&b, "streamgnn_sched_units_total", "", tel.SchedUnits)
+		obs.WriteHeader(&b, "streamgnn_sched_collapsed_steps_total", "Scheduled rounds that collapsed into a single conflict group.", "counter")
+		obs.WriteIntValue(&b, "streamgnn_sched_collapsed_steps_total", "", tel.SchedCollapsedSteps)
+		obs.WriteHeader(&b, "streamgnn_sched_group_fraction", "Per-step groups-over-units fraction (1 = fully independent, near 0 = hub collapse).", "histogram")
+		obs.WriteHistogram(&b, "streamgnn_sched_group_fraction", "", snap(tel.SchedGroupFraction))
+	}
 
 	obs.WriteHeader(&b, "streamgnn_stream_step", "Next stream step to execute.", "gauge")
 	obs.WriteIntValue(&b, "streamgnn_stream_step", "", int64(step))

@@ -6,6 +6,7 @@
 //	streambench -hotpath              # partition cache + parallel pairs
 //	streambench -qps                  # batched query serving under load
 //	streambench -delta                # splice vs. DeltaForward on a hub-heavy stream
+//	streambench -sched                # serial apply vs. conflict-group schedule
 //
 // Use -steps and -scale to trade fidelity for speed.
 package main
@@ -34,6 +35,8 @@ func main() {
 	qpsFloor := flag.Float64("qps-floor", 0, "with -qps: exit non-zero unless the batched saturation phase sustains at least this many qps (CI gate)")
 	delta := flag.Bool("delta", false, "benchmark region-splice vs. event-driven delta forward on a hub-heavy stream where the splice ladder falls back to full")
 	deltaFloor := flag.Float64("delta-floor", 0, "with -delta: exit non-zero unless DeltaForward beats the splice engine by at least this factor (CI gate; e.g. 2)")
+	sched := flag.Bool("sched", false, "benchmark the serial apply phase vs. the conflict-group schedule (Config.DependencySchedule) on sparse, hub and churn streams")
+	schedFloor := flag.Float64("sched-floor", 0, "with -sched: exit non-zero unless the scheduler beats serial apply on the sparse stream by at least this factor (CI gate; e.g. 1.3)")
 	runs := flag.Int("runs", 10, "repetitions per cell (the paper uses 10)")
 	steps := flag.Int("steps", 40, "stream steps per run")
 	scale := flag.Float64("scale", 1, "workload scale factor")
@@ -48,6 +51,40 @@ func main() {
 	}
 
 	var err error
+	if *sched {
+		fmt.Printf("DEPENDENCY SCHEDULE: serial apply vs. conflict-group scheduling (%d timed steps/leg)\n\n", *steps)
+		ab, serr := bench.RunScheduleAB(*steps, 1)
+		if serr != nil {
+			fmt.Fprintln(os.Stderr, "streambench:", serr)
+			os.Exit(1)
+		}
+		fmt.Print(ab.String())
+		if *jsonOut != "" {
+			data, jerr := json.MarshalIndent(ab, "", "  ")
+			if jerr == nil {
+				jerr = os.WriteFile(*jsonOut, append(data, '\n'), 0o644)
+			}
+			if jerr != nil {
+				fmt.Fprintln(os.Stderr, "streambench:", jerr)
+				os.Exit(1)
+			}
+			fmt.Printf("\nJSON report written to %s\n", *jsonOut)
+		}
+		sparse := ab.Leg("sparse")
+		if sparse == nil || sparse.SchedSteps == 0 {
+			fmt.Fprintln(os.Stderr, "streambench: the scheduler never ran — the A/B proved nothing")
+			os.Exit(1)
+		}
+		if sparse.GroupsPerStep <= 1 {
+			fmt.Fprintln(os.Stderr, "streambench: the sparse stream never formed concurrent groups — the A/B proved nothing")
+			os.Exit(1)
+		}
+		if *schedFloor > 0 && sparse.Speedup < *schedFloor {
+			fmt.Fprintf(os.Stderr, "streambench: sparse scheduler speedup %.2fx is below the floor of %.2fx\n", sparse.Speedup, *schedFloor)
+			os.Exit(1)
+		}
+		return
+	}
 	if *delta {
 		fmt.Printf("DELTA FORWARD: splice vs. event-driven delta on a hub-heavy stream (%d timed steps)\n\n", *steps)
 		ab, derr := bench.RunDeltaAB("WinGNN", *steps)
@@ -133,6 +170,12 @@ func main() {
 			os.Exit(1)
 		}
 		rep.Delta = &dab
+		scab, scerr := bench.RunScheduleAB(*steps, 1)
+		if scerr != nil {
+			fmt.Fprintln(os.Stderr, "streambench:", scerr)
+			os.Exit(1)
+		}
+		rep.Sched = &scab
 		fmt.Print(rep.String())
 		if *jsonOut != "" {
 			data, jerr := json.MarshalIndent(rep, "", "  ")

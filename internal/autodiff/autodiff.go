@@ -190,6 +190,13 @@ func ensureGrad(n *Node) {
 // scalar (1x1) node produced by this tape. Gradients accumulate into every
 // reachable node with requiresGrad.
 func (t *Tape) Backward(root *Node) {
+	t.backward(root, nil)
+}
+
+// backward is the shared body of Backward and BackwardTo. With a non-nil
+// sink, parameter-leaf gradients are accumulated into the sink's private
+// buffers instead of the leaves' shared Grad matrices (see GradSink).
+func (t *Tape) backward(root *Node, sink *GradSink) {
 	if root.Value.Rows != 1 || root.Value.Cols != 1 {
 		panic(fmt.Sprintf("autodiff: Backward root must be 1x1, got %dx%d", root.Value.Rows, root.Value.Cols))
 	}
@@ -216,147 +223,154 @@ func (t *Tape) Backward(root *Node) {
 	for i := len(t.order) - 1; i >= 0; i-- {
 		n := t.order[i]
 		if n.Grad != nil {
-			n.runBack()
+			n.runBack(sink)
 		}
 	}
 }
 
+// gradOf returns the buffer a gradient write into n should accumulate into:
+// with a non-nil sink, parameter leaves (op == opNone — Param nodes are never
+// tape-recorded) get the sink's private buffer; everything else — and every
+// node when sink is nil — uses n's own Grad, which for interior nodes is
+// private to the tape. Callers have already checked n.requiresGrad.
+func gradOf(n *Node, sink *GradSink) *tensor.Matrix {
+	if sink != nil && n.op == opNone {
+		return sink.of(n)
+	}
+	ensureGrad(n)
+	return n.Grad
+}
+
 // runBack applies node n's backward rule, accumulating into its parents'
-// gradients. One switch instead of per-node closures: see opKind.
-func (out *Node) runBack() {
+// gradients (redirected through sink for parameter leaves when non-nil).
+// One switch instead of per-node closures: see opKind.
+func (out *Node) runBack(sink *GradSink) {
 	switch out.op {
 	case opMatMul:
 		a, b := out.parents[0], out.parents[1]
 		// Gradient temporaries are recycled immediately: they are not tape
 		// nodes, so without this they would drain the buffer pool every step.
 		if a.requiresGrad {
-			ensureGrad(a)
+			ag := gradOf(a, sink)
 			tmp := tensor.MatMulTransB(out.Grad, b.Value)
-			tensor.AddInPlace(a.Grad, tmp)
+			tensor.AddInPlace(ag, tmp)
 			tensor.Recycle(tmp)
 		}
 		if b.requiresGrad {
-			ensureGrad(b)
+			bg := gradOf(b, sink)
 			tmp := tensor.MatMulTransA(a.Value, out.Grad)
-			tensor.AddInPlace(b.Grad, tmp)
+			tensor.AddInPlace(bg, tmp)
 			tensor.Recycle(tmp)
 		}
 	case opSpMM:
 		x := out.parents[0]
 		if x.requiresGrad {
-			ensureGrad(x)
+			xg := gradOf(x, sink)
 			tmp := tensor.SpMMTrans(out.auxCSR, out.Grad)
-			tensor.AddInPlace(x.Grad, tmp)
+			tensor.AddInPlace(xg, tmp)
 			tensor.Recycle(tmp)
 		}
 	case opAdd:
 		a, b := out.parents[0], out.parents[1]
 		if a.requiresGrad {
-			ensureGrad(a)
-			tensor.AddInPlace(a.Grad, out.Grad)
+			tensor.AddInPlace(gradOf(a, sink), out.Grad)
 		}
 		if b.requiresGrad {
-			ensureGrad(b)
-			tensor.AddInPlace(b.Grad, out.Grad)
+			tensor.AddInPlace(gradOf(b, sink), out.Grad)
 		}
 	case opSub:
 		a, b := out.parents[0], out.parents[1]
 		if a.requiresGrad {
-			ensureGrad(a)
-			tensor.AddInPlace(a.Grad, out.Grad)
+			tensor.AddInPlace(gradOf(a, sink), out.Grad)
 		}
 		if b.requiresGrad {
-			ensureGrad(b)
-			tensor.AddScaledInPlace(b.Grad, out.Grad, -1)
+			tensor.AddScaledInPlace(gradOf(b, sink), out.Grad, -1)
 		}
 	case opMul:
 		a, b := out.parents[0], out.parents[1]
 		if a.requiresGrad {
-			ensureGrad(a)
+			ag := gradOf(a, sink)
 			tmp := tensor.Mul(out.Grad, b.Value)
-			tensor.AddInPlace(a.Grad, tmp)
+			tensor.AddInPlace(ag, tmp)
 			tensor.Recycle(tmp)
 		}
 		if b.requiresGrad {
-			ensureGrad(b)
+			bg := gradOf(b, sink)
 			tmp := tensor.Mul(out.Grad, a.Value)
-			tensor.AddInPlace(b.Grad, tmp)
+			tensor.AddInPlace(bg, tmp)
 			tensor.Recycle(tmp)
 		}
 	case opScale:
 		a := out.parents[0]
 		if a.requiresGrad {
-			ensureGrad(a)
-			tensor.AddScaledInPlace(a.Grad, out.Grad, out.auxF)
+			tensor.AddScaledInPlace(gradOf(a, sink), out.Grad, out.auxF)
 		}
 	case opAddBias:
 		m, b := out.parents[0], out.parents[1]
 		if m.requiresGrad {
-			ensureGrad(m)
-			tensor.AddInPlace(m.Grad, out.Grad)
+			tensor.AddInPlace(gradOf(m, sink), out.Grad)
 		}
 		if b.requiresGrad {
-			ensureGrad(b)
+			bg := gradOf(b, sink)
 			for r := 0; r < out.Grad.Rows; r++ {
 				row := out.Grad.Row(r)
 				for c, v := range row {
-					b.Grad.Data[c] += v
+					bg.Data[c] += v
 				}
 			}
 		}
 	case opSigmoid:
 		a := out.parents[0]
 		if a.requiresGrad {
-			ensureGrad(a)
+			ag := gradOf(a, sink)
 			for i, y := range out.Value.Data {
-				a.Grad.Data[i] += out.Grad.Data[i] * y * (1 - y)
+				ag.Data[i] += out.Grad.Data[i] * y * (1 - y)
 			}
 		}
 	case opTanh:
 		a := out.parents[0]
 		if a.requiresGrad {
-			ensureGrad(a)
+			ag := gradOf(a, sink)
 			for i, y := range out.Value.Data {
-				a.Grad.Data[i] += out.Grad.Data[i] * (1 - y*y)
+				ag.Data[i] += out.Grad.Data[i] * (1 - y*y)
 			}
 		}
 	case opReLU:
 		a := out.parents[0]
 		if a.requiresGrad {
-			ensureGrad(a)
+			ag := gradOf(a, sink)
 			for i := range out.Value.Data {
 				if a.Value.Data[i] > 0 {
-					a.Grad.Data[i] += out.Grad.Data[i]
+					ag.Data[i] += out.Grad.Data[i]
 				}
 			}
 		}
 	case opOneMinus:
 		a := out.parents[0]
 		if a.requiresGrad {
-			ensureGrad(a)
-			tensor.AddScaledInPlace(a.Grad, out.Grad, -1)
+			tensor.AddScaledInPlace(gradOf(a, sink), out.Grad, -1)
 		}
 	case opConcatCols:
 		a, b := out.parents[0], out.parents[1]
 		if a.requiresGrad {
-			ensureGrad(a)
+			ag := gradOf(a, sink)
 			tmp := tensor.SliceCols(out.Grad, 0, a.Value.Cols)
-			tensor.AddInPlace(a.Grad, tmp)
+			tensor.AddInPlace(ag, tmp)
 			tensor.Recycle(tmp)
 		}
 		if b.requiresGrad {
-			ensureGrad(b)
+			bg := gradOf(b, sink)
 			tmp := tensor.SliceCols(out.Grad, a.Value.Cols, out.Grad.Cols)
-			tensor.AddInPlace(b.Grad, tmp)
+			tensor.AddInPlace(bg, tmp)
 			tensor.Recycle(tmp)
 		}
 	case opGatherRows:
 		a := out.parents[0]
 		if a.requiresGrad {
-			ensureGrad(a)
+			ag := gradOf(a, sink)
 			for i, r := range out.auxInts {
 				grow := out.Grad.Row(i)
-				arow := a.Grad.Row(r)
+				arow := ag.Row(r)
 				for c, v := range grow {
 					arow[c] += v
 				}
@@ -365,46 +379,44 @@ func (out *Node) runBack() {
 	case opMean:
 		a := out.parents[0]
 		if a.requiresGrad {
-			ensureGrad(a)
+			ag := gradOf(a, sink)
 			g := out.Grad.Data[0] / float64(len(a.Value.Data))
-			for i := range a.Grad.Data {
-				a.Grad.Data[i] += g
+			for i := range ag.Data {
+				ag.Data[i] += g
 			}
 		}
 	case opMSE:
 		// aux is the residual pred−target; auxF its element count.
 		pred := out.parents[0]
 		if pred.requiresGrad {
-			ensureGrad(pred)
+			pg := gradOf(pred, sink)
 			g := out.Grad.Data[0] * 2 / out.auxF
 			for i, v := range out.aux.Data {
-				pred.Grad.Data[i] += g * v
+				pg.Data[i] += g * v
 			}
 		}
 	case opBCEWithLogits:
 		// aux is the 0/1 target matrix.
 		logits := out.parents[0]
 		if logits.requiresGrad {
-			ensureGrad(logits)
+			lg := gradOf(logits, sink)
 			g := out.Grad.Data[0] / float64(len(out.aux.Data))
 			for i, z := range logits.Value.Data {
-				logits.Grad.Data[i] += g * (tensor.Sigmoid(z) - out.aux.Data[i])
+				lg.Data[i] += g * (tensor.Sigmoid(z) - out.aux.Data[i])
 			}
 		}
 	case opAddScalarMul:
 		a, b := out.parents[0], out.parents[1]
 		if a.requiresGrad {
-			ensureGrad(a)
-			tensor.AddInPlace(a.Grad, out.Grad)
+			tensor.AddInPlace(gradOf(a, sink), out.Grad)
 		}
 		if b.requiresGrad {
-			ensureGrad(b)
-			tensor.AddScaledInPlace(b.Grad, out.Grad, out.auxF)
+			tensor.AddScaledInPlace(gradOf(b, sink), out.Grad, out.auxF)
 		}
 	case opSoftmax:
 		a := out.parents[0]
 		if a.requiresGrad {
-			ensureGrad(a)
+			ag := gradOf(a, sink)
 			val := out.Value
 			for r := 0; r < val.Rows; r++ {
 				y := val.Row(r)
@@ -413,7 +425,7 @@ func (out *Node) runBack() {
 				for c := range y {
 					dot += y[c] * g[c]
 				}
-				arow := a.Grad.Row(r)
+				arow := ag.Row(r)
 				for c := range y {
 					arow[c] += y[c] * (g[c] - dot)
 				}
@@ -423,12 +435,12 @@ func (out *Node) runBack() {
 		// aux is the row-wise softmax of the logits; auxInts the classes.
 		logits := out.parents[0]
 		if logits.requiresGrad {
-			ensureGrad(logits)
+			lgrad := gradOf(logits, sink)
 			n := out.aux.Rows
 			g := out.Grad.Data[0] / float64(n)
 			for r := 0; r < n; r++ {
 				p := out.aux.Row(r)
-				grow := logits.Grad.Row(r)
+				grow := lgrad.Row(r)
 				for j, pj := range p {
 					grad := pj
 					if j == out.auxInts[r] {
@@ -442,18 +454,18 @@ func (out *Node) runBack() {
 		// aux is the 0-or-1/(1-p) keep mask.
 		a := out.parents[0]
 		if a.requiresGrad {
-			ensureGrad(a)
+			ag := gradOf(a, sink)
 			for i, m := range out.aux.Data {
-				a.Grad.Data[i] += out.Grad.Data[i] * m
+				ag.Data[i] += out.Grad.Data[i] * m
 			}
 		}
 	case opSum:
 		a := out.parents[0]
 		if a.requiresGrad {
-			ensureGrad(a)
+			ag := gradOf(a, sink)
 			g := out.Grad.Data[0]
-			for i := range a.Grad.Data {
-				a.Grad.Data[i] += g
+			for i := range ag.Data {
+				ag.Data[i] += g
 			}
 		}
 	}

@@ -1,0 +1,78 @@
+package autodiff
+
+import "streamgnn/internal/tensor"
+
+// GradSink redirects parameter-leaf gradient accumulation away from the
+// shared Node.Grad buffers. BackwardTo(root, sink) accumulates every
+// parameter gradient into a per-sink matrix instead of the parameter's own
+// Grad, so backward passes over independent tapes can run on concurrent
+// goroutines without racing on the persistent parameters: interior gradients
+// live on each tape's private node shells, and the only shared leaves — the
+// parameters — are written through the caller's private sink.
+//
+// The concurrency contract is one sink per goroutine. Afterwards, MergeInto
+// folds the sink's sums into the parameters' Grad buffers serially; calling
+// it in a fixed order across sinks keeps the merged gradient (and therefore
+// the optimizer step) bit-deterministic regardless of how many goroutines ran
+// the backward passes.
+//
+// A sink keeps its gradient matrices across Reset calls, so a warm sink adds
+// no allocation to the training hot path.
+type GradSink struct {
+	grads map[*Node]*tensor.Matrix
+	// params records insertion order so Reset never iterates the map (map
+	// order is randomized; Reset only zeroes, but the repo's determinism
+	// lint budget is easier to audit when no hot-path map iteration exists).
+	params []*Node
+}
+
+// NewGradSink returns an empty sink.
+func NewGradSink() *GradSink {
+	return &GradSink{grads: make(map[*Node]*tensor.Matrix)}
+}
+
+// of returns the sink's accumulation buffer for parameter leaf n, allocating
+// a zeroed matrix on first use.
+func (s *GradSink) of(n *Node) *tensor.Matrix {
+	if g, ok := s.grads[n]; ok {
+		return g
+	}
+	g := tensor.New(n.Value.Rows, n.Value.Cols)
+	s.grads[n] = g
+	s.params = append(s.params, n)
+	return g
+}
+
+// Reset zeroes every held gradient buffer, keeping the matrices for reuse by
+// the next backward pass.
+func (s *GradSink) Reset() {
+	for _, n := range s.params {
+		g := s.grads[n]
+		for i := range g.Data {
+			g.Data[i] = 0
+		}
+	}
+}
+
+// MergeInto accumulates the sink's gradients into each parameter's Grad
+// buffer, iterating params in the caller's order (use the optimizer's stable
+// Params() slice). Parameters the sink never touched are skipped. Must be
+// called serially; merging several sinks in a fixed order before one
+// optimizer step reproduces the exact floating-point sum on every run.
+func (s *GradSink) MergeInto(params []*Node) {
+	for _, p := range params {
+		if g, ok := s.grads[p]; ok {
+			ensureGrad(p)
+			tensor.AddInPlace(p.Grad, g)
+		}
+	}
+}
+
+// BackwardTo runs reverse-mode differentiation from root like Backward, but
+// accumulates parameter-leaf gradients into sink instead of the parameters'
+// shared Grad buffers (interior tape nodes keep using their own Grad — they
+// are private to this tape). A nil sink is exactly Backward. root must be a
+// scalar (1x1) node produced by this tape.
+func (t *Tape) BackwardTo(root *Node, sink *GradSink) {
+	t.backward(root, sink)
+}

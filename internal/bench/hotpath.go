@@ -112,6 +112,9 @@ type HotPathReport struct {
 	// Delta is the region-splice vs. delta-propagation comparison on the
 	// hub-heavy stream (see RunDeltaAB); nil when the delta A/B was not run.
 	Delta *DeltaAB
+	// Sched is the serial-apply vs. conflict-group-schedule comparison (see
+	// RunScheduleAB); nil when the scheduler A/B was not run.
+	Sched *SchedAB
 }
 
 // timeSteps measures adaptive-step throughput (steps/sec) for one
@@ -253,6 +256,9 @@ func (r HotPathReport) String() string {
 	}
 	if r.Delta != nil {
 		b.WriteString(r.Delta.String())
+	}
+	if r.Sched != nil {
+		b.WriteString(r.Sched.String())
 	}
 	return b.String()
 }

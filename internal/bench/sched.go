@@ -1,0 +1,220 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"time"
+
+	"streamgnn/internal/autodiff"
+	"streamgnn/internal/core"
+	"streamgnn/internal/dgnn"
+	"streamgnn/internal/graph"
+	"streamgnn/internal/query"
+)
+
+// This file benchmarks the conflict-group scheduler (Config.DependencySchedule)
+// against the serial-apply baseline on three streams chosen to span its
+// operating range: a sparse community graph where most sampled units are
+// independent (the scheduler's best case), a hub-and-spoke star where every
+// unit conflicts (the documented collapse-to-serial case), and the
+// adversarial churn workload whose edge storms keep merging and splitting
+// groups between steps.
+
+const (
+	schedBenchFeatDim = 3
+	schedBenchHidden  = 8
+	schedBenchPairs   = 8
+)
+
+// SchedLeg is one stream's serial-apply vs. conflict-group comparison. Both
+// arms run the same worker count; the only difference is whether backprop and
+// gradient accumulation are serialized after the parallel eval (baseline) or
+// run whole conflict groups concurrently (scheduled).
+type SchedLeg struct {
+	Name            string
+	BaselinePerSec  float64
+	ScheduledPerSec float64
+	Speedup         float64
+	// Scheduler evidence from the scheduled arm's learner counters:
+	// GroupsPerStep near UnitsPerStep means fully independent units,
+	// GroupsPerStep == 1 means every step collapsed to the serial schedule.
+	SchedSteps     int64
+	GroupsPerStep  float64
+	UnitsPerStep   float64
+	CollapsedSteps int64
+}
+
+// SchedAB aggregates the scheduler comparison for cmd/streambench.
+type SchedAB struct {
+	Workers int
+	Pairs   int
+	Legs    []SchedLeg
+}
+
+// Leg returns the named leg (nil if absent).
+func (ab *SchedAB) Leg(name string) *SchedLeg {
+	for i := range ab.Legs {
+		if ab.Legs[i].Name == name {
+			return &ab.Legs[i]
+		}
+	}
+	return nil
+}
+
+// sparseCommunityGraph builds nC disjoint labeled rings of size nodes each:
+// 2-hop training partitions never cross rings, so sampled units conflict only
+// when they land in the same community.
+func sparseCommunityGraph(nC, size int) *graph.Dynamic {
+	g := graph.NewDynamic(schedBenchFeatDim)
+	for c := 0; c < nC; c++ {
+		base := c * size
+		for i := 0; i < size; i++ {
+			g.AddNode(0, []float64{float64(i % 2), float64(c % 3), 1})
+			g.SetLabel(base+i, float64(i%2))
+		}
+		for i := 0; i < size; i++ {
+			g.AddUndirectedEdge(base+i, base+(i+1)%size, 0, 0)
+		}
+	}
+	return g
+}
+
+// hubStarGraph builds one hub fanning out to n-1 labeled leaves: every 2-hop
+// partition contains the hub, so all sampled units share one conflict group.
+func hubStarGraph(n int) *graph.Dynamic {
+	g := graph.NewDynamic(schedBenchFeatDim)
+	for i := 0; i < n; i++ {
+		g.AddNode(0, []float64{float64(i % 2), 0, 1})
+		g.SetLabel(i, float64(i%2))
+	}
+	for i := 1; i < n; i++ {
+		g.AddUndirectedEdge(0, i, 0, 0)
+	}
+	return g
+}
+
+// schedCell is one runnable arm of the A/B: a step function plus the learner
+// whose counters provide the evidence.
+type schedCell struct {
+	step    func()
+	learner *core.AdaptiveLearner
+}
+
+// schedConfig is the shared configuration of both arms; only
+// DependencySchedule differs between them.
+func schedConfig(on bool) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Workers = runtime.NumCPU()
+	cfg.PairsPerStep = schedBenchPairs
+	cfg.DependencySchedule = on
+	return cfg
+}
+
+// topoCell wires an adaptive learner over a synthetic topology.
+func topoCell(build func() *graph.Dynamic, on bool, seed int64) schedCell {
+	cfg := schedConfig(on)
+	rng := rand.New(rand.NewSource(seed))
+	g := build()
+	g.EnablePartitionCache(cfg.PartitionCacheCap)
+	m := dgnn.NewTGCN(rng, schedBenchFeatDim, schedBenchHidden)
+	heads := query.NewHeads(rng, schedBenchHidden)
+	w := query.NewWorkload(heads)
+	opt := m.WrapOptimizer(autodiff.NewAdam(cfg.LR, append(m.Params(), heads.Params()...)))
+	tr := core.NewTrainer(g, m, w, opt, cfg, rng)
+	l := core.NewAdaptiveLearner(tr, cfg, core.Weighted, rng)
+	return schedCell{step: func() { l.Step(nil) }, learner: l}
+}
+
+// churnCell wires the adversarial churn workload through the standard
+// hot-path cell (full replay to the final snapshot, then frozen-stream
+// training steps).
+func churnCell(on bool, seed int64) (schedCell, error) {
+	cell, err := NewHotPathCell("Churn", "TGCN", schedConfig(on), schedConfig(on).PartitionCacheCap, seed)
+	if err != nil {
+		return schedCell{}, err
+	}
+	return schedCell{step: cell.Step, learner: cell.Learner}, nil
+}
+
+// timeSchedLeg interleaves three baseline/scheduled rep pairs (so ambient
+// load hits both arms alike), reports the median throughputs, and extracts
+// the evidence counters from the last scheduled learner.
+func timeSchedLeg(name string, mk func(on bool) (schedCell, error), steps int) (SchedLeg, error) {
+	leg := SchedLeg{Name: name}
+	var base, sched [3]float64
+	var last *core.AdaptiveLearner
+	for r := 0; r < 3; r++ {
+		for _, on := range []bool{false, true} {
+			cell, err := mk(on)
+			if err != nil {
+				return leg, err
+			}
+			for i := 0; i < 3; i++ { // warm the cache, pools and scratch
+				cell.step()
+			}
+			start := time.Now()
+			for i := 0; i < steps; i++ {
+				cell.step()
+			}
+			perSec := float64(steps) / time.Since(start).Seconds()
+			if on {
+				sched[r] = perSec
+				last = cell.learner
+			} else {
+				base[r] = perSec
+			}
+		}
+	}
+	leg.BaselinePerSec = median3(base[0], base[1], base[2])
+	leg.ScheduledPerSec = median3(sched[0], sched[1], sched[2])
+	if leg.BaselinePerSec > 0 {
+		leg.Speedup = leg.ScheduledPerSec / leg.BaselinePerSec
+	}
+	leg.SchedSteps = last.SchedSteps
+	leg.CollapsedSteps = last.SchedCollapsed
+	if last.SchedSteps > 0 {
+		leg.GroupsPerStep = float64(last.SchedGroups) / float64(last.SchedSteps)
+		leg.UnitsPerStep = float64(last.SchedUnits) / float64(last.SchedSteps)
+	}
+	return leg, nil
+}
+
+// RunScheduleAB measures adaptive-step throughput with and without the
+// conflict-group scheduler on the sparse, hub and churn streams.
+func RunScheduleAB(steps int, seed int64) (SchedAB, error) {
+	ab := SchedAB{Workers: runtime.NumCPU(), Pairs: schedBenchPairs}
+	legs := []struct {
+		name string
+		mk   func(on bool) (schedCell, error)
+	}{
+		{"sparse", func(on bool) (schedCell, error) {
+			return topoCell(func() *graph.Dynamic { return sparseCommunityGraph(48, 12) }, on, seed), nil
+		}},
+		{"hub", func(on bool) (schedCell, error) {
+			return topoCell(func() *graph.Dynamic { return hubStarGraph(576) }, on, seed), nil
+		}},
+		{"churn", func(on bool) (schedCell, error) { return churnCell(on, seed) }},
+	}
+	for _, l := range legs {
+		leg, err := timeSchedLeg(l.name, l.mk, steps)
+		if err != nil {
+			return ab, err
+		}
+		ab.Legs = append(ab.Legs, leg)
+	}
+	return ab, nil
+}
+
+// String renders the comparison for the streambench table output.
+func (ab SchedAB) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Dependency schedule (workers %d, pairs %d)\n", ab.Workers, ab.Pairs)
+	for _, l := range ab.Legs {
+		fmt.Fprintf(&b, "  %-7s baseline %.1f st/s, scheduled %.1f st/s (%.2fx); %.1f groups over %.1f units/step, %d/%d steps collapsed\n",
+			l.Name, l.BaselinePerSec, l.ScheduledPerSec, l.Speedup,
+			l.GroupsPerStep, l.UnitsPerStep, l.CollapsedSteps, l.SchedSteps)
+	}
+	return b.String()
+}

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"streamgnn/internal/autodiff"
+	"streamgnn/internal/graph"
 	"streamgnn/internal/sampling"
 )
 
@@ -73,6 +75,15 @@ type AdaptiveLearner struct {
 	nodes []int
 	seeds []int64
 
+	// Dependency-schedule scratch (cfg.DependencySchedule): per-unit
+	// partitions, the conflict-group builder's buffers, and one gradient sink
+	// per unit. Sinks are per-unit, not per-group, so the merge order (unit
+	// index 0..n-1) — and therefore the optimizer input — is independent of
+	// how units were grouped or which worker ran them.
+	subs     []*graph.Subgraph
+	conflict conflictScratch
+	sinks    []*autodiff.GradSink
+
 	// Moves counts accepted chip moves (observability/tests).
 	Moves int
 	// Trained counts executed training partitions.
@@ -80,6 +91,14 @@ type AdaptiveLearner struct {
 	// ParallelUnits counts units evaluated on worker goroutines (0 when
 	// Workers <= 1; observability for streamgnn.Stats).
 	ParallelUnits int64
+	// Dependency-schedule counters (observability for streamgnn.Stats and
+	// telemetry): steps scheduled, conflict groups formed, units scheduled,
+	// and steps whose units all collapsed into a single group (the serial
+	// degenerate case on hub-heavy graphs).
+	SchedSteps     int64
+	SchedGroups    int64
+	SchedUnits     int64
+	SchedCollapsed int64
 }
 
 // NewAdaptiveLearner builds Algorithm 1 over the trainer's graph. strategy
@@ -218,12 +237,12 @@ func (a *AdaptiveLearner) Step(updated []int) {
 	for i := range seeds {
 		seeds[i] = a.rng.Int63()
 	}
-	// Phase 2: evaluate all units against the current parameters.
-	workers := a.cfg.Workers
-	if workers > len(units) {
-		workers = len(units)
-	}
-	if workers <= 1 {
+	// Phase 2: evaluate all units against the current parameters. Under the
+	// dependency schedule, backprop into per-unit sinks runs here too, fully
+	// concurrent across conflict groups.
+	if a.cfg.DependencySchedule {
+		a.runScheduled(units, nodes, seeds)
+	} else if workers := min(a.cfg.Workers, len(units)); workers <= 1 {
 		for i := range units {
 			units[i] = a.Trainer.EvalUnit(nodes[i], seeds[i])
 		}
@@ -249,11 +268,30 @@ func (a *AdaptiveLearner) Step(updated []int) {
 	// Phase 3: serial, fixed-order application and chip accounting. By
 	// default the units' gradients accumulate into the shared parameters and
 	// a single optimizer step applies their sum; PerUnitApply restores the
-	// original one-optimizer-step-per-partition schedule.
+	// original one-optimizer-step-per-partition schedule. Under the
+	// dependency schedule gradients were already computed into per-unit
+	// sinks; here they are merged into the parameters strictly in unit-index
+	// order, so the optimizer input never depends on grouping or timing.
 	accumulated := false
+	if a.cfg.DependencySchedule {
+		params := a.Trainer.Opt.Params()
+		for i := range units {
+			if !units[i].OK {
+				continue
+			}
+			a.sinks[i].MergeInto(params)
+			if a.cfg.PerUnitApply {
+				a.Trainer.Opt.Step()
+			} else {
+				accumulated = true
+			}
+		}
+	}
 	for pair := 0; pair < a.cfg.PairsPerStep; pair++ {
 		u1, u2 := units[2*pair], units[2*pair+1]
-		if a.cfg.PerUnitApply {
+		if a.cfg.DependencySchedule {
+			// Gradients already merged above.
+		} else if a.cfg.PerUnitApply {
 			a.Trainer.ApplyUnit(u1)
 			a.Trainer.ApplyUnit(u2)
 		} else {
@@ -290,6 +328,80 @@ func (a *AdaptiveLearner) Step(updated []int) {
 	}
 	if accumulated {
 		a.Trainer.Opt.Step()
+	}
+}
+
+// runScheduled is phase 2 under the dependency schedule: partition the
+// step's units into conflict groups (units whose L-hop receptive fields
+// intersect, closed transitively) and run whole groups concurrently on the
+// worker pool — evaluation AND backprop, each unit's gradient going into its
+// own private sink. Within a group, units run serially in unit-index order.
+//
+// Determinism: partitions are prefetched serially, so the partition cache
+// warms in the same order on every run; the conflict build reads only the
+// sampled units and the graph; each unit's backward writes only its own sink
+// and its tape's private nodes; and the caller merges sinks in unit-index
+// order. Nothing observable depends on worker count or goroutine timing, so
+// seeded runs are bit-identical for every Workers value.
+func (a *AdaptiveLearner) runScheduled(units []Unit, nodes []int, seeds []int64) {
+	n := len(units)
+	// Serial partition prefetch: shares the version-keyed cache with
+	// evaluation (EvalUnit re-reads the same *Subgraph), and doubles as the
+	// conflict build's input.
+	if cap(a.subs) < n {
+		a.subs = make([]*graph.Subgraph, n)
+	}
+	subs := a.subs[:n]
+	L := a.Trainer.Model.Layers()
+	for i := range subs {
+		subs[i] = a.Trainer.G.Partition(nodes[i], L)
+	}
+	offsets, order, numGroups := a.conflict.build(subs, a.Trainer.G.N())
+	for i := range subs {
+		subs[i] = nil // release references; cache owns the partitions
+	}
+	for len(a.sinks) < n {
+		a.sinks = append(a.sinks, autodiff.NewGradSink())
+	}
+	for i := 0; i < n; i++ {
+		a.sinks[i].Reset()
+	}
+	runGroup := func(g int) {
+		for _, i := range order[offsets[g]:offsets[g+1]] {
+			u := a.Trainer.EvalUnit(nodes[i], seeds[i])
+			a.Trainer.GradUnitTo(u, a.sinks[i])
+			// Strip the consumed tape; phase 3 needs only node/utility/OK.
+			units[i] = Unit{Node: u.Node, Utility: u.Utility, OK: u.OK}
+		}
+	}
+	if workers := min(a.cfg.Workers, numGroups); workers <= 1 {
+		for g := 0; g < numGroups; g++ {
+			runGroup(g)
+		}
+	} else {
+		var cursor int64 = -1
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					g := int(atomic.AddInt64(&cursor, 1))
+					if g >= numGroups {
+						return
+					}
+					runGroup(g)
+				}
+			}()
+		}
+		wg.Wait()
+		a.ParallelUnits += int64(n)
+	}
+	a.SchedSteps++
+	a.SchedGroups += int64(numGroups)
+	a.SchedUnits += int64(n)
+	if numGroups == 1 && n > 1 {
+		a.SchedCollapsed++
 	}
 }
 

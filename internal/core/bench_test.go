@@ -1,0 +1,43 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestConflictBuildZeroAllocWarm asserts the per-step cost promise of the
+// conflict-graph build: after one warm-up call sizes every scratch buffer to
+// its high-water mark, rebuilding the grouping allocates nothing. This is the
+// guarantee that keeps the scheduler off the allocator on the hot training
+// path.
+func TestConflictBuildZeroAllocWarm(t *testing.T) {
+	g := ringsGraph(8, 10)
+	centers := []int{1, 11, 21, 3, 31, 41, 51, 13}
+	subs := partitionsOf(g, centers, 2)
+	var cs conflictScratch
+	cs.build(subs, g.N()) // warm: grow all scratch to high-water mark
+	allocs := testing.AllocsPerRun(100, func() {
+		cs.build(subs, g.N())
+	})
+	if allocs != 0 {
+		t.Fatalf("warm conflict build allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// BenchmarkConflictBuild measures the grouping cost per training step on a
+// sparse community stream — the scheduler's fixed overhead over the serial
+// apply path.
+func BenchmarkConflictBuild(b *testing.B) {
+	g := ringsGraph(32, 12)
+	centers := make([]int, 16)
+	for i := range centers {
+		centers[i] = (i * 29) % g.N()
+	}
+	subs := partitionsOf(g, centers, 2)
+	var cs conflictScratch
+	cs.build(subs, g.N())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs.build(subs, g.N())
+	}
+}

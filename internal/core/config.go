@@ -111,6 +111,19 @@ type Config struct {
 	// per step instead of once per partition; both schedules apply gradients
 	// serially in unit-index order and are bit-deterministic.
 	PerUnitApply bool
+	// DependencySchedule parallelizes backprop and gradient accumulation
+	// across conflict groups of the step's training units (NeutronStream-style
+	// dependency-aware scheduling). After sampling, units whose L-hop
+	// receptive fields intersect are unioned into one conflict group; groups
+	// run fully concurrently on the worker pool (eval + backward into private
+	// gradient sinks), units within a group stay in unit-index order, and the
+	// per-unit gradient sums are merged serially in unit-index order before
+	// the optimizer step. Grouping depends only on the sampled units and the
+	// graph — never on Workers or timing — so seeded runs stay bit-identical
+	// for every Workers value. On hub-heavy graphs all units usually share a
+	// ball and collapse into a single group, which degenerates to the serial
+	// schedule. Default false.
+	DependencySchedule bool
 }
 
 // DefaultConfig returns the paper's default parameter values.

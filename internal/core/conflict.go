@@ -1,0 +1,151 @@
+package core
+
+import "streamgnn/internal/graph"
+
+// conflictScratch holds the reusable buffers of the dependency-aware
+// scheduler's conflict-group build (Config.DependencySchedule). All slices
+// grow to high-water marks and are reused across steps, so a warm build
+// allocates nothing — the same discipline as AdaptiveLearner's
+// units/nodes/seeds scratch.
+//
+// The build is pure bookkeeping over the step's sampled partitions: two
+// units conflict iff their L-hop partition node sets intersect, conflicts
+// are closed transitively with a union-find, and the resulting groups come
+// out in CSR form. Everything is keyed by unit index and global node id, so
+// the grouping depends only on the sampled units and the graph — never on
+// worker count or timing.
+type conflictScratch struct {
+	// parent is the union-find forest over unit indices. Unions keep the
+	// minimum unit index as the root, so roots double as deterministic group
+	// representatives.
+	parent []int32
+	// stamp maps global node id -> (claiming unit index + 1), 0 = unclaimed.
+	// Sized to the full graph like subgraph.build's scratch; re-zeroed after
+	// the build by re-walking the partitions, so cost stays O(Σ|ball|).
+	stamp []int32
+	// groupOf maps unit index -> dense group id; rootGrp maps union-find
+	// root -> dense group id during assignment.
+	groupOf []int32
+	rootGrp []int32
+	// offsets/units are the CSR output: group g holds unit indices
+	// units[offsets[g]:offsets[g+1]]. counts is the scatter cursor.
+	offsets []int
+	units   []int
+	counts  []int
+}
+
+// find returns the root of x with path halving.
+func (cs *conflictScratch) find(x int32) int32 {
+	p := cs.parent
+	for p[x] != x {
+		p[x] = p[p[x]]
+		x = p[x]
+	}
+	return x
+}
+
+// union merges the groups of a and b, keeping the smaller root (minimum unit
+// index) as representative so group identity is order-independent.
+func (cs *conflictScratch) union(a, b int32) {
+	ra, rb := cs.find(a), cs.find(b)
+	if ra == rb {
+		return
+	}
+	if ra < rb {
+		cs.parent[rb] = ra
+	} else {
+		cs.parent[ra] = rb
+	}
+}
+
+// growInt32 returns buf resized to n, reallocating only past the high-water
+// mark.
+func growInt32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+// build partitions the step's units into conflict groups. subs[i] is unit
+// i's L-hop partition; nNodes is the graph's node count (stamp domain). It
+// returns the CSR grouping: group g is units[offsets[g]:offsets[g+1]], unit
+// indices ascending within each group, groups ordered by minimum unit index.
+// The returned slices alias the scratch and are valid until the next build.
+func (cs *conflictScratch) build(subs []*graph.Subgraph, nNodes int) (offsets, units []int, numGroups int) {
+	n := len(subs)
+	cs.parent = growInt32(cs.parent, n)
+	for i := range cs.parent {
+		cs.parent[i] = int32(i)
+	}
+	cs.stamp = growInt32(cs.stamp, nNodes)
+	stamp := cs.stamp
+	// Claim pass: the first unit to touch a node stamps it; later units
+	// touching the same node union with the stamping unit. Transitive closure
+	// comes free from the union-find, so each node is visited once.
+	for i, sub := range subs {
+		for _, v := range sub.Nodes {
+			if s := stamp[v]; s != 0 {
+				cs.union(s-1, int32(i))
+			} else {
+				stamp[v] = int32(i + 1)
+			}
+		}
+	}
+	// Re-zero only the touched entries (pool invariant: stamp is all-zero
+	// between builds).
+	for _, sub := range subs {
+		for _, v := range sub.Nodes {
+			stamp[v] = 0
+		}
+	}
+	// Dense group ids in order of first appearance scanning units 0..n-1;
+	// with min-root unions this orders groups by minimum unit index.
+	cs.groupOf = growInt32(cs.groupOf, n)
+	cs.rootGrp = growInt32(cs.rootGrp, n)
+	for i := range cs.rootGrp {
+		cs.rootGrp[i] = -1
+	}
+	numGroups = 0
+	for i := 0; i < n; i++ {
+		r := cs.find(int32(i))
+		if cs.rootGrp[r] < 0 {
+			cs.rootGrp[r] = int32(numGroups)
+			numGroups++
+		}
+		cs.groupOf[i] = cs.rootGrp[r]
+	}
+	// Counting scatter into CSR; the ascending scan keeps unit indices
+	// ascending within each group.
+	if cap(cs.counts) < numGroups {
+		cs.counts = make([]int, n)
+	}
+	counts := cs.counts[:numGroups]
+	for g := range counts {
+		counts[g] = 0
+	}
+	for i := 0; i < n; i++ {
+		counts[cs.groupOf[i]]++
+	}
+	if cap(cs.offsets) < numGroups+1 {
+		cs.offsets = make([]int, n+1)
+	}
+	offsets = cs.offsets[:numGroups+1]
+	offsets[0] = 0
+	for g := 0; g < numGroups; g++ {
+		offsets[g+1] = offsets[g] + counts[g]
+	}
+	if cap(cs.units) < n {
+		cs.units = make([]int, n)
+	}
+	units = cs.units[:n]
+	for g := range counts {
+		counts[g] = 0
+	}
+	for i := 0; i < n; i++ {
+		g := cs.groupOf[i]
+		units[offsets[g]+counts[g]] = i
+		counts[g]++
+	}
+	return offsets, units, numGroups
+}

@@ -12,8 +12,9 @@ import (
 
 // adaptiveFingerprint runs a seeded adaptive learner for several steps over a
 // mutating graph and returns everything observable: final chip counts, the
-// Trained/Moves counters, and every model parameter value.
-func adaptiveFingerprint(t *testing.T, workers, pairs int) ([]int, int, int, []float64) {
+// Trained/Moves counters, and every model parameter value. mutate, when
+// non-nil, adjusts the config before the learner is built.
+func adaptiveFingerprint(t *testing.T, workers, pairs int, mutate func(*Config)) ([]int, int, int, []float64) {
 	t.Helper()
 	const n = 16
 	rng := rand.New(rand.NewSource(7))
@@ -28,6 +29,9 @@ func adaptiveFingerprint(t *testing.T, workers, pairs int) ([]int, int, int, []f
 	cfg := DefaultConfig()
 	cfg.Workers = workers
 	cfg.PairsPerStep = pairs
+	if mutate != nil {
+		mutate(&cfg)
+	}
 	g.EnablePartitionCache(cfg.PartitionCacheCap)
 	m := dgnn.NewTGCN(rng, 3, 4)
 	heads := query.NewHeads(rng, 4)
@@ -60,27 +64,76 @@ func adaptiveFingerprint(t *testing.T, workers, pairs int) ([]int, int, int, []f
 // pair units are evaluated serially or on 4 worker goroutines.
 func TestStepDeterministicAcrossWorkers(t *testing.T) {
 	for _, pairs := range []int{1, 3} {
-		c1, t1, m1, p1 := adaptiveFingerprint(t, 1, pairs)
-		c4, t4, m4, p4 := adaptiveFingerprint(t, 4, pairs)
-		if t1 != t4 || m1 != m4 {
-			t.Fatalf("pairs=%d: counters diverged: trained %d vs %d, moves %d vs %d", pairs, t1, t4, m1, m4)
+		c1, t1, m1, p1 := adaptiveFingerprint(t, 1, pairs, nil)
+		c4, t4, m4, p4 := adaptiveFingerprint(t, 4, pairs, nil)
+		compareFingerprints(t, "pairs", pairs, c1, t1, m1, p1, c4, t4, m4, p4)
+	}
+}
+
+// compareFingerprints asserts two adaptive fingerprints are bit-identical.
+func compareFingerprints(t *testing.T, label string, key int,
+	c1 []int, t1, m1 int, p1 []float64, c2 []int, t2, m2 int, p2 []float64) {
+	t.Helper()
+	if t1 != t2 || m1 != m2 {
+		t.Fatalf("%s=%d: counters diverged: trained %d vs %d, moves %d vs %d", label, key, t1, t2, m1, m2)
+	}
+	if len(c1) != len(c2) {
+		t.Fatalf("%s=%d: chip vector length %d vs %d", label, key, len(c1), len(c2))
+	}
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Fatalf("%s=%d: chip counts diverged at node %d: %d vs %d", label, key, i, c1[i], c2[i])
 		}
-		if len(c1) != len(c4) {
-			t.Fatalf("pairs=%d: chip vector length %d vs %d", pairs, len(c1), len(c4))
+	}
+	if len(p1) != len(p2) {
+		t.Fatalf("%s=%d: parameter count %d vs %d", label, key, len(p1), len(p2))
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("%s=%d: parameter %d diverged: %v vs %v", label, key, i, p1[i], p2[i])
 		}
-		for i := range c1 {
-			if c1[i] != c4[i] {
-				t.Fatalf("pairs=%d: chip counts diverged at node %d: %d vs %d", pairs, i, c1[i], c4[i])
-			}
+	}
+}
+
+// TestStepDeterministicAcrossWorkersDependencySchedule extends the headline
+// guarantee to the conflict-group scheduler: with DependencySchedule on,
+// seeded runs are bit-identical across Workers ∈ {1,2,4,8}, for both the
+// batched (single optimizer step) and PerUnitApply schedules. The grouping,
+// the unit-index merge order, and the chip-move rng stream are all
+// worker-count independent, so everything observable must match the
+// single-worker run bit for bit.
+func TestStepDeterministicAcrossWorkersDependencySchedule(t *testing.T) {
+	for _, perUnit := range []bool{false, true} {
+		mutate := func(cfg *Config) {
+			cfg.DependencySchedule = true
+			cfg.PerUnitApply = perUnit
 		}
-		if len(p1) != len(p4) {
-			t.Fatalf("pairs=%d: parameter count %d vs %d", pairs, len(p1), len(p4))
+		c1, t1, m1, p1 := adaptiveFingerprint(t, 1, 3, mutate)
+		for _, workers := range []int{2, 4, 8} {
+			cw, tw, mw, pw := adaptiveFingerprint(t, workers, 3, mutate)
+			t.Logf("perUnit=%v workers=%d", perUnit, workers)
+			compareFingerprints(t, "workers", workers, c1, t1, m1, p1, cw, tw, mw, pw)
 		}
-		for i := range p1 {
-			if p1[i] != p4[i] {
-				t.Fatalf("pairs=%d: parameter %d diverged: %v vs %v", pairs, i, p1[i], p4[i])
-			}
-		}
+	}
+}
+
+// TestDependencyScheduleSelfConsistent pins down that the scheduled
+// trajectory is a pure function of the seed: two identical runs (same
+// workers) match bit for bit, and the schedule trains exactly as many
+// partitions as the serial path. Scheduled runs are NOT expected to equal
+// unscheduled ones bitwise: the tape's backward rules read live parameter
+// values, so the serial schedule computes unit k's gradient after unit k-1's
+// update while the concurrent schedule evaluates every gradient against the
+// same snapshot θ_t (see DESIGN.md §15) — a deterministic, not a bitwise,
+// equivalence.
+func TestDependencyScheduleSelfConsistent(t *testing.T) {
+	schedOn := func(cfg *Config) { cfg.DependencySchedule = true }
+	c1, t1, m1, p1 := adaptiveFingerprint(t, 4, 3, schedOn)
+	c2, t2, m2, p2 := adaptiveFingerprint(t, 4, 3, schedOn)
+	compareFingerprints(t, "rerun", 4, c1, t1, m1, p1, c2, t2, m2, p2)
+	_, tOff, _, _ := adaptiveFingerprint(t, 1, 3, nil)
+	if t1 != tOff {
+		t.Fatalf("scheduled run trained %d partitions, serial %d", t1, tOff)
 	}
 }
 

@@ -155,6 +155,23 @@ func (t *Trainer) AccumulateUnit(u Unit) bool {
 	return true
 }
 
+// GradUnitTo backpropagates an evaluated unit into sink's private gradient
+// buffers instead of the shared parameter gradients, then recycles the unit's
+// tape. Unlike ApplyUnit/AccumulateUnit it touches no shared model or
+// optimizer state, so units may run concurrently as long as each goroutine
+// uses its own sinks (the tape and tensor pools are concurrency-safe).
+// Merge the sinks serially in a fixed order (GradSink.MergeInto) and step the
+// optimizer to apply the result. It reports whether the unit contributed a
+// gradient.
+func (t *Trainer) GradUnitTo(u Unit, sink *autodiff.GradSink) bool {
+	if !u.OK {
+		return false
+	}
+	u.tape.BackwardTo(u.loss, sink)
+	putTape(u.tape)
+	return true
+}
+
 // DiscardUnit recycles an evaluated unit without applying it.
 func (t *Trainer) DiscardUnit(u Unit) {
 	if u.tape != nil {

@@ -109,6 +109,27 @@ func (s *Subgraph) LocalID(v int) int {
 // GlobalID returns the global node id at local index li.
 func (s *Subgraph) GlobalID(li int) int { return s.Nodes[li] }
 
+// Overlaps reports whether the two subgraphs share any node. Both Nodes
+// slices are sorted ascending unique, so this is a two-pointer merge —
+// O(|s|+|o|) worst case, and it exits at the first common node. Used by the
+// dependency-aware training scheduler to decide whether two partitions'
+// receptive fields conflict.
+func (s *Subgraph) Overlaps(o *Subgraph) bool {
+	a, b := s.Nodes, o.Nodes
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return true
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
 // build assembles the subgraph's normalized adjacencies. Normalization uses
 // each node's GLOBAL degree, not its degree inside the subgraph: message
 // weights then match the full-graph convolution exactly, so the embedding of

@@ -104,6 +104,10 @@ func ByName(name string, cfg GenConfig) (*Dataset, error) {
 		return StackOverflow(cfg), nil
 	case "UCIMessages":
 		return UCIMessages(cfg), nil
+	case "Churn":
+		// Adversarial edge-churn stream for the scheduler A/B; deliberately
+		// not in Names() — it is a stress workload, not a paper dataset.
+		return Churn(cfg), nil
 	}
 	return nil, fmt.Errorf("workload: unknown dataset %q", name)
 }

@@ -246,6 +246,60 @@ func TestDriftChangesTruthDistribution(t *testing.T) {
 	}
 }
 
+// The churn stream is the scheduler's stress workload: reachable through
+// ByName but deliberately absent from Names() (it is not a paper dataset),
+// it must replay cleanly, keep every edge inside its short window, and
+// actually churn — the live edge set should turn over between steps.
+func TestChurnStream(t *testing.T) {
+	d, err := ByName("Churn", GenConfig{Seed: 13, Steps: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range Names() {
+		if name == "Churn" {
+			t.Fatal("Churn must not be one of the paper's five datasets")
+		}
+	}
+	if d.WindowSteps <= 0 {
+		t.Fatal("churn stream needs a sliding window to produce expiry storms")
+	}
+	g := replay(t, d)
+	if g.N() != 12*8 {
+		t.Fatalf("node population %d, want %d", g.N(), 12*8)
+	}
+	// No edge outlives the window (the expiry-storm half of the churn).
+	minTime := int64(d.Steps - 1 - d.WindowSteps)
+	for v := 0; v < g.N(); v++ {
+		for _, e := range g.OutEdges(v) {
+			if e.Time < minTime {
+				t.Fatalf("expired edge survived: time %d", e.Time)
+			}
+		}
+	}
+	// The edge count fluctuates step to step (the insert-storm half):
+	// replay incrementally and record the live edge counts.
+	g2 := graph.NewDynamic(d.FeatDim)
+	r := stream.NewReplayer(g2, d.Source(), d.WindowSteps)
+	var counts []int
+	for r.Advance() {
+		counts = append(counts, g2.NumEdges())
+	}
+	distinct := make(map[int]bool)
+	for _, c := range counts[d.WindowSteps:] {
+		distinct[c] = true
+	}
+	if len(distinct) < 3 {
+		t.Fatalf("edge count never churned: %v", counts)
+	}
+	// Truths exist for every community hub once the stream is running.
+	q := d.Queries[0]
+	for _, a := range q.Anchors {
+		if _, ok := q.Labeler(g, a, 5); !ok {
+			t.Fatalf("missing truth for anchor %d", a)
+		}
+	}
+}
+
 func TestRegimeProcessHotRegionsDominate(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	p := newRegimeProcess(rng, 10, 2, 100)

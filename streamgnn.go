@@ -122,6 +122,17 @@ type Config struct {
 	// partitions (see Stats.CacheHits). 0 means the default (256); negative
 	// disables caching.
 	PartitionCacheCap int
+	// DependencySchedule extends worker-pool parallelism from unit
+	// *evaluation* to the whole training unit (backprop and gradient
+	// accumulation included): the step's units are partitioned into conflict
+	// groups — units whose L-hop receptive fields intersect — and
+	// independent groups run fully concurrently, with per-unit gradients
+	// merged serially in unit-index order before the optimizer step.
+	// Grouping depends only on the sampled units and the graph, so seeded
+	// runs stay bit-identical for every Workers value. On hub-heavy graphs
+	// all units tend to share one group and the schedule degenerates to the
+	// serial path. See DESIGN.md §15. Default false.
+	DependencySchedule bool
 	// DisablePooling turns off the tensor buffer pool that recycles tape
 	// intermediates between training units.
 	DisablePooling bool
@@ -258,6 +269,7 @@ func (c Config) fill() (Config, core.Config) {
 	} else if c.PartitionCacheCap > 0 {
 		cc.PartitionCacheCap = c.PartitionCacheCap
 	}
+	cc.DependencySchedule = c.DependencySchedule
 	return c, cc
 }
 
@@ -354,6 +366,18 @@ type Stats struct {
 	// ParallelUnits counts training units evaluated on worker goroutines
 	// (0 when Workers <= 1).
 	ParallelUnits int64
+
+	// Dependency-schedule counters, zero unless Config.DependencySchedule:
+	// SchedSteps counts adaptive training rounds run under the conflict-group
+	// schedule, SchedGroups the conflict groups they formed, SchedUnits the
+	// units they scheduled, and SchedCollapsedSteps the rounds whose units
+	// all fell into a single group (the serial degenerate case on hub-heavy
+	// streams). SchedGroups/SchedUnits close to 1 means near-perfect
+	// parallelism; close to 1/units means the schedule is collapsing.
+	SchedSteps          int64
+	SchedGroups         int64
+	SchedUnits          int64
+	SchedCollapsedSteps int64
 }
 
 // Engine is the online continuous-learning query engine.
@@ -398,6 +422,10 @@ type pendingRestore struct {
 	trained       int
 	moves         int
 	parallelUnits int64
+	schedSteps    int64
+	schedGroups   int64
+	schedUnits    int64
+	schedCollapse int64
 	kdeSeeds      []int
 	kdeOldest     int
 	hasKDE        bool
@@ -622,6 +650,7 @@ func (e *Engine) Step() error {
 		e.invalidateInference()
 	}
 	e.tele.phases[phaseTrain].ObserveSince(phaseStart)
+	e.observeSchedule()
 
 	e.g.ResetUpdated()
 	e.publishServing(t)
@@ -811,6 +840,25 @@ func (e *Engine) runDeltaForward(t int) {
 	e.tele.dirtyFrac.Observe(1)
 }
 
+// observeSchedule records the dependency scheduler's per-step group/unit
+// fraction against the learner-counter watermarks (a training step may run
+// several adaptive rounds; the observation aggregates them).
+func (e *Engine) observeSchedule() {
+	if !e.cfg.DependencySchedule || e.sched == nil {
+		return
+	}
+	a := e.sched.Adaptive
+	if a == nil {
+		return
+	}
+	dg := a.SchedGroups - e.tele.prevSchedGroups
+	du := a.SchedUnits - e.tele.prevSchedUnits
+	e.tele.prevSchedGroups, e.tele.prevSchedUnits = a.SchedGroups, a.SchedUnits
+	if du > 0 {
+		e.tele.schedGroupFrac.Observe(float64(dg) / float64(du))
+	}
+}
+
 // applyPendingRestore pushes checkpoint state stashed by LoadCheckpoint into
 // the freshly created scheduler.
 func (e *Engine) applyPendingRestore() error {
@@ -830,6 +878,11 @@ func (e *Engine) applyPendingRestore() error {
 		}
 	}
 	a.Trained, a.Moves, a.ParallelUnits = p.trained, p.moves, p.parallelUnits
+	a.SchedSteps, a.SchedGroups = p.schedSteps, p.schedGroups
+	a.SchedUnits, a.SchedCollapsed = p.schedUnits, p.schedCollapse
+	// Sync the telemetry watermarks so the first post-resume step observes
+	// only its own group fraction, not the whole restored history.
+	e.tele.prevSchedGroups, e.tele.prevSchedUnits = a.SchedGroups, a.SchedUnits
 	if p.hasKDE {
 		if ks, ok := a.Sampler().(*core.KDESampler); ok {
 			if err := ks.RestoreSeedState(p.kdeSeeds, p.kdeOldest); err != nil {
@@ -919,6 +972,10 @@ func (e *Engine) Stats() Stats {
 			s.TrainedPartitions = p.trained
 			s.ChipMoves = p.moves
 			s.ParallelUnits = p.parallelUnits
+			s.SchedSteps = p.schedSteps
+			s.SchedGroups = p.schedGroups
+			s.SchedUnits = p.schedUnits
+			s.SchedCollapsedSteps = p.schedCollapse
 		}
 		return s
 	}
@@ -926,6 +983,10 @@ func (e *Engine) Stats() Stats {
 		s.TrainedPartitions = a.Trained
 		s.ChipMoves = a.Moves
 		s.ParallelUnits = a.ParallelUnits
+		s.SchedSteps = a.SchedSteps
+		s.SchedGroups = a.SchedGroups
+		s.SchedUnits = a.SchedUnits
+		s.SchedCollapsedSteps = a.SchedCollapsed
 		probs := a.Probabilities()
 		if len(probs) > 1 {
 			var h float64

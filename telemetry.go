@@ -62,6 +62,15 @@ type engineTelemetry struct {
 	// the embedding rows its forwards contributed.
 	shardMerge *obs.Histogram
 	shardRows  []obs.Counter
+
+	// Dependency-schedule instrument (only moves with DependencySchedule):
+	// per training step, conflict groups formed over units scheduled — 1.0
+	// means every unit ran independently, 1/units means the step collapsed
+	// to the serial schedule. prevSchedGroups/prevSchedUnits are the
+	// learner-counter watermarks the per-step deltas are computed against.
+	schedGroupFrac  *obs.Histogram
+	prevSchedGroups int64
+	prevSchedUnits  int64
 }
 
 func (t *engineTelemetry) init(shards int) {
@@ -71,6 +80,7 @@ func (t *engineTelemetry) init(shards int) {
 	}
 	t.dirtyFrac = obs.NewHistogram(obs.FractionBuckets())
 	t.deltaPrunedFrac = obs.NewHistogram(obs.FractionBuckets())
+	t.schedGroupFrac = obs.NewHistogram(obs.FractionBuckets())
 	if shards > 1 {
 		t.shardMerge = obs.NewHistogram(obs.DefaultLatencyBuckets())
 		t.shardRows = make([]obs.Counter, shards)
@@ -139,6 +149,19 @@ type Telemetry struct {
 	DeltaPrunedRows     int64
 	DeltaPrunedFraction TelemetryHistogram
 
+	// Dependency-schedule fields, zero unless Config.DependencySchedule is
+	// set. SchedSteps counts adaptive training rounds run under the
+	// conflict-group schedule, SchedGroups/SchedUnits the groups formed and
+	// units scheduled across them, SchedCollapsedSteps the rounds that
+	// collapsed into a single group; SchedGroupFraction is the per-engine-step
+	// distribution of groups/units (1.0 = fully independent units, near 0 =
+	// hub collapse).
+	SchedSteps          int64
+	SchedGroups         int64
+	SchedUnits          int64
+	SchedCollapsedSteps int64
+	SchedGroupFraction  TelemetryHistogram
+
 	// Sharded-pipeline fields, zero/nil unless Config.Shards > 1.
 	// Shards is the partition width P; ShardNodes the current node
 	// occupancy per shard; ShardSplicedRows the total embedding rows each
@@ -171,6 +194,20 @@ func (e *Engine) Telemetry() Telemetry {
 		DeltaCandidateRows:  e.tele.deltaCandidateRows.Value(),
 		DeltaPrunedRows:     e.tele.deltaPrunedRows.Value(),
 		DeltaPrunedFraction: histSnapshot(e.tele.deltaPrunedFrac),
+		SchedGroupFraction:  histSnapshot(e.tele.schedGroupFrac),
+	}
+	if e.sched != nil {
+		if a := e.sched.Adaptive; a != nil {
+			t.SchedSteps = a.SchedSteps
+			t.SchedGroups = a.SchedGroups
+			t.SchedUnits = a.SchedUnits
+			t.SchedCollapsedSteps = a.SchedCollapsed
+		}
+	} else if p := e.pending; p != nil {
+		t.SchedSteps = p.schedSteps
+		t.SchedGroups = p.schedGroups
+		t.SchedUnits = p.schedUnits
+		t.SchedCollapsedSteps = p.schedCollapse
 	}
 	for i, name := range StepPhases() {
 		t.Phases[name] = histSnapshot(e.tele.phases[i])

@@ -119,6 +119,34 @@ func expandFrontierSorted(frontier map[int]bool, adj [][]int) []int {
 	return cand
 }
 
+// Positive: the conflict-graph anti-pattern — partition node sets kept as
+// maps and drained by ranging, so the claim order (and thus which unit a
+// shared node unions on) differs across runs.
+func conflictNodes(balls []map[int]bool) []int {
+	var claimed []int
+	for _, ball := range balls {
+		for v := range ball {
+			claimed = append(claimed, v) // want `claimed collects map keys in randomized iteration order`
+		}
+	}
+	return claimed
+}
+
+// Negative: the core conflict-build idiom — collect each ball's nodes, sort,
+// then stamp/union in deterministic node order.
+func conflictNodesSorted(balls []map[int]bool) []int {
+	var claimed []int
+	for _, ball := range balls {
+		ids := make([]int, 0, len(ball))
+		for v := range ball {
+			ids = append(ids, v)
+		}
+		sort.Ints(ids)
+		claimed = append(claimed, ids...)
+	}
+	return claimed
+}
+
 // Escape hatch: a justified //streamlint:ordered-ok waives the check.
 func waived(m map[int]float64) float64 {
 	var total float64
