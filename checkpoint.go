@@ -181,9 +181,12 @@ func (e *Engine) SaveCheckpoint(w io.Writer) error {
 		ck.TrainSteps = e.sched.TrainSteps
 		if a := e.sched.Adaptive; a != nil {
 			ck.Chips = a.Chips.Counts()
-			ck.Trained, ck.Moves, ck.ParallelUnits = a.Trained, a.Moves, a.ParallelUnits
-			ck.SchedSteps, ck.SchedGroups = a.SchedSteps, a.SchedGroups
-			ck.SchedUnits, ck.SchedCollapsed = a.SchedUnits, a.SchedCollapsed
+			ck.Trained, ck.Moves = a.Trained, a.Moves
+			ck.ParallelUnits = atomic.LoadInt64(&a.ParallelUnits)
+			ck.SchedSteps = atomic.LoadInt64(&a.SchedSteps)
+			ck.SchedGroups = atomic.LoadInt64(&a.SchedGroups)
+			ck.SchedUnits = atomic.LoadInt64(&a.SchedUnits)
+			ck.SchedCollapsed = atomic.LoadInt64(&a.SchedCollapsed)
 			if ks, ok := a.Sampler().(*core.KDESampler); ok {
 				ck.KDESeeds, ck.KDEOldest = ks.SeedState()
 				ck.HasKDESeeds = true

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"streamgnn/internal/autodiff"
@@ -172,11 +173,11 @@ func timeSchedLeg(name string, mk func(on bool) (schedCell, error), steps int) (
 	if leg.BaselinePerSec > 0 {
 		leg.Speedup = leg.ScheduledPerSec / leg.BaselinePerSec
 	}
-	leg.SchedSteps = last.SchedSteps
-	leg.CollapsedSteps = last.SchedCollapsed
-	if last.SchedSteps > 0 {
-		leg.GroupsPerStep = float64(last.SchedGroups) / float64(last.SchedSteps)
-		leg.UnitsPerStep = float64(last.SchedUnits) / float64(last.SchedSteps)
+	leg.SchedSteps = atomic.LoadInt64(&last.SchedSteps)
+	leg.CollapsedSteps = atomic.LoadInt64(&last.SchedCollapsed)
+	if leg.SchedSteps > 0 {
+		leg.GroupsPerStep = float64(atomic.LoadInt64(&last.SchedGroups)) / float64(leg.SchedSteps)
+		leg.UnitsPerStep = float64(atomic.LoadInt64(&last.SchedUnits)) / float64(leg.SchedSteps)
 	}
 	return leg, nil
 }

@@ -53,6 +53,21 @@ func (s *chipSampler) SampleNode() int { return s.chips.Sample(s.rng) }
 // Workers=1 runs phase 2 on the caller's goroutine with the exact same
 // seeds, so a seeded run is bit-identical for every worker count.
 type AdaptiveLearner struct {
+	// ParallelUnits counts units evaluated on worker goroutines (0 when
+	// Workers <= 1; observability for streamgnn.Stats). Like every counter
+	// in this block it is written with sync/atomic — Telemetry() readers
+	// run concurrently with Step — and leads the struct so the int64s stay
+	// 8-aligned on 386.
+	ParallelUnits int64
+	// Dependency-schedule counters (observability for streamgnn.Stats and
+	// telemetry): steps scheduled, conflict groups formed, units scheduled,
+	// and steps whose units all collapsed into a single group (the serial
+	// degenerate case on hub-heavy graphs).
+	SchedSteps     int64
+	SchedGroups    int64
+	SchedUnits     int64
+	SchedCollapsed int64
+
 	Chips   *sampling.Chips
 	Trainer *Trainer
 
@@ -88,17 +103,6 @@ type AdaptiveLearner struct {
 	Moves int
 	// Trained counts executed training partitions.
 	Trained int
-	// ParallelUnits counts units evaluated on worker goroutines (0 when
-	// Workers <= 1; observability for streamgnn.Stats).
-	ParallelUnits int64
-	// Dependency-schedule counters (observability for streamgnn.Stats and
-	// telemetry): steps scheduled, conflict groups formed, units scheduled,
-	// and steps whose units all collapsed into a single group (the serial
-	// degenerate case on hub-heavy graphs).
-	SchedSteps     int64
-	SchedGroups    int64
-	SchedUnits     int64
-	SchedCollapsed int64
 }
 
 // NewAdaptiveLearner builds Algorithm 1 over the trainer's graph. strategy
@@ -263,7 +267,7 @@ func (a *AdaptiveLearner) Step(updated []int) {
 			}()
 		}
 		wg.Wait()
-		a.ParallelUnits += int64(len(units))
+		atomic.AddInt64(&a.ParallelUnits, int64(len(units)))
 	}
 	// Phase 3: serial, fixed-order application and chip accounting. By
 	// default the units' gradients accumulate into the shared parameters and
@@ -395,13 +399,13 @@ func (a *AdaptiveLearner) runScheduled(units []Unit, nodes []int, seeds []int64)
 			}()
 		}
 		wg.Wait()
-		a.ParallelUnits += int64(n)
+		atomic.AddInt64(&a.ParallelUnits, int64(n))
 	}
-	a.SchedSteps++
-	a.SchedGroups += int64(numGroups)
-	a.SchedUnits += int64(n)
+	atomic.AddInt64(&a.SchedSteps, 1)
+	atomic.AddInt64(&a.SchedGroups, int64(numGroups))
+	atomic.AddInt64(&a.SchedUnits, int64(n))
 	if numGroups == 1 && n > 1 {
-		a.SchedCollapsed++
+		atomic.AddInt64(&a.SchedCollapsed, 1)
 	}
 }
 

@@ -146,7 +146,11 @@ func (b *Batcher) flushGen(gen uint64) {
 }
 
 // run answers one flushed batch on its own goroutine and distributes the
-// answer slices back to the submitters.
+// answer slices back to the submitters. It must never reacquire b.mu (both
+// callers flush after unlocking, and a lock here would serialize in-flight
+// batches) or reach the engine's step loop.
+//
+//streamlint:lockfree
 func (b *Batcher) run(batch []submission) {
 	if len(batch) == 0 {
 		return

@@ -64,6 +64,8 @@ func (s *QuerySnapshot) Rows() int {
 // query.AnswerBatch). density is the shared seed-window density vector for
 // KindDensity requests (from Density; nil disables them). Safe to call from
 // any number of goroutines concurrently with Engine.Step.
+//
+//streamlint:lockfree
 func (s *QuerySnapshot) Answer(reqs []query.Request, density []float64) []query.Answer {
 	return query.AnswerBatch(s.heads, s.emb, reqs, density)
 }
@@ -76,6 +78,8 @@ func (s *QuerySnapshot) Answer(reqs []query.Request, density []float64) []query.
 // is safe from any goroutine concurrently with Engine.Step and never touches
 // the engine's step lock. Errors mirror SeedWindowDensity's: no adaptive
 // scheduler at capture time, or an empty seed window.
+//
+//streamlint:lockfree
 func (s *QuerySnapshot) Density() ([]float64, error) {
 	if s.densityErr != nil {
 		return nil, s.densityErr

@@ -591,6 +591,8 @@ func (e *Engine) EnableLinkPrediction() {
 // Each phase — window expiry, forward inference, truth reveal, query
 // prediction, training — is timed into the engine's telemetry histograms;
 // see Telemetry.
+//
+//streamlint:steploop
 func (e *Engine) Step() error {
 	if e.g.N() == 0 {
 		return fmt.Errorf("streamgnn: cannot step an empty graph")
@@ -851,9 +853,11 @@ func (e *Engine) observeSchedule() {
 	if a == nil {
 		return
 	}
-	dg := a.SchedGroups - e.tele.prevSchedGroups
-	du := a.SchedUnits - e.tele.prevSchedUnits
-	e.tele.prevSchedGroups, e.tele.prevSchedUnits = a.SchedGroups, a.SchedUnits
+	groups := atomic.LoadInt64(&a.SchedGroups)
+	units := atomic.LoadInt64(&a.SchedUnits)
+	dg := groups - e.tele.prevSchedGroups
+	du := units - e.tele.prevSchedUnits
+	e.tele.prevSchedGroups, e.tele.prevSchedUnits = groups, units
 	if du > 0 {
 		e.tele.schedGroupFrac.Observe(float64(dg) / float64(du))
 	}
@@ -877,12 +881,15 @@ func (e *Engine) applyPendingRestore() error {
 			return err
 		}
 	}
-	a.Trained, a.Moves, a.ParallelUnits = p.trained, p.moves, p.parallelUnits
-	a.SchedSteps, a.SchedGroups = p.schedSteps, p.schedGroups
-	a.SchedUnits, a.SchedCollapsed = p.schedUnits, p.schedCollapse
+	a.Trained, a.Moves = p.trained, p.moves
+	atomic.StoreInt64(&a.ParallelUnits, p.parallelUnits)
+	atomic.StoreInt64(&a.SchedSteps, p.schedSteps)
+	atomic.StoreInt64(&a.SchedGroups, p.schedGroups)
+	atomic.StoreInt64(&a.SchedUnits, p.schedUnits)
+	atomic.StoreInt64(&a.SchedCollapsed, p.schedCollapse)
 	// Sync the telemetry watermarks so the first post-resume step observes
 	// only its own group fraction, not the whole restored history.
-	e.tele.prevSchedGroups, e.tele.prevSchedUnits = a.SchedGroups, a.SchedUnits
+	e.tele.prevSchedGroups, e.tele.prevSchedUnits = p.schedGroups, p.schedUnits
 	if p.hasKDE {
 		if ks, ok := a.Sampler().(*core.KDESampler); ok {
 			if err := ks.RestoreSeedState(p.kdeSeeds, p.kdeOldest); err != nil {
@@ -956,12 +963,14 @@ func (e *Engine) Outcomes() []Outcome {
 // resumed engine never shows a dip to zero.
 func (e *Engine) Stats() Stats {
 	var s Stats
-	ts := e.trainer.Stats
-	s.SelfNodeTargets = int(ts.SelfNodeTargets)
-	s.SelfEdgeTargets = int(ts.SelfEdgeTargets)
-	s.SupNodeTargets = int(ts.SupNodeTargets)
-	s.SupPairTargets = int(ts.SupPairTargets)
-	s.ReplayTargets = int(ts.ReplayTargets)
+	// Field-by-field atomic loads: the trainer's workers bump these counters
+	// with atomic adds, so a whole-struct copy here would race them.
+	ts := &e.trainer.Stats
+	s.SelfNodeTargets = int(atomic.LoadInt64(&ts.SelfNodeTargets))
+	s.SelfEdgeTargets = int(atomic.LoadInt64(&ts.SelfEdgeTargets))
+	s.SupNodeTargets = int(atomic.LoadInt64(&ts.SupNodeTargets))
+	s.SupPairTargets = int(atomic.LoadInt64(&ts.SupPairTargets))
+	s.ReplayTargets = int(atomic.LoadInt64(&ts.ReplayTargets))
 	cs := e.g.PartitionCacheStats()
 	s.CacheHits = cs.Hits
 	s.CacheMisses = cs.Misses
@@ -982,11 +991,11 @@ func (e *Engine) Stats() Stats {
 	if a := e.sched.Adaptive; a != nil {
 		s.TrainedPartitions = a.Trained
 		s.ChipMoves = a.Moves
-		s.ParallelUnits = a.ParallelUnits
-		s.SchedSteps = a.SchedSteps
-		s.SchedGroups = a.SchedGroups
-		s.SchedUnits = a.SchedUnits
-		s.SchedCollapsedSteps = a.SchedCollapsed
+		s.ParallelUnits = atomic.LoadInt64(&a.ParallelUnits)
+		s.SchedSteps = atomic.LoadInt64(&a.SchedSteps)
+		s.SchedGroups = atomic.LoadInt64(&a.SchedGroups)
+		s.SchedUnits = atomic.LoadInt64(&a.SchedUnits)
+		s.SchedCollapsedSteps = atomic.LoadInt64(&a.SchedCollapsed)
 		probs := a.Probabilities()
 		if len(probs) > 1 {
 			var h float64

@@ -1,6 +1,8 @@
 package streamgnn
 
 import (
+	"sync/atomic"
+
 	"streamgnn/internal/obs"
 )
 
@@ -198,10 +200,10 @@ func (e *Engine) Telemetry() Telemetry {
 	}
 	if e.sched != nil {
 		if a := e.sched.Adaptive; a != nil {
-			t.SchedSteps = a.SchedSteps
-			t.SchedGroups = a.SchedGroups
-			t.SchedUnits = a.SchedUnits
-			t.SchedCollapsedSteps = a.SchedCollapsed
+			t.SchedSteps = atomic.LoadInt64(&a.SchedSteps)
+			t.SchedGroups = atomic.LoadInt64(&a.SchedGroups)
+			t.SchedUnits = atomic.LoadInt64(&a.SchedUnits)
+			t.SchedCollapsedSteps = atomic.LoadInt64(&a.SchedCollapsed)
 		}
 	} else if p := e.pending; p != nil {
 		t.SchedSteps = p.schedSteps

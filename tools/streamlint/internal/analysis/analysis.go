@@ -2,9 +2,14 @@
 // golang.org/x/tools/go/analysis vocabulary: an Analyzer holds a check, a
 // Pass hands it one type-checked package, and diagnostics flow back through
 // Pass.Reportf. The repository cannot vendor x/tools (builds must work
-// offline), so streamlint carries this ~150-line substitute instead; the
+// offline), so streamlint carries this ~300-line substitute instead; the
 // analyzer source is written so that a later migration to the real
 // go/analysis API is a mechanical rename.
+//
+// Two analyzer shapes exist: Analyzer checks one package at a time (the
+// x/tools unit model), while ProgramAnalyzer receives every loaded package
+// at once so it can reason interprocedurally — call graphs, cross-package
+// taint, whole-program access-discipline checks.
 package analysis
 
 import (
@@ -15,7 +20,7 @@ import (
 	"strings"
 )
 
-// Analyzer describes one streamlint check.
+// Analyzer describes one streamlint check over a single package.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and on the command line.
 	Name string
@@ -38,15 +43,51 @@ type Pass struct {
 	Report func(Diagnostic)
 
 	// directives is the lazily built per-file index of streamlint comment
-	// directives, keyed by file name then line number.
-	directives map[string]map[int][]directive
+	// directives.
+	directives directiveIndex
 }
 
-// Diagnostic is one finding.
+// Unit is one type-checked package inside a whole-program pass.
+type Unit struct {
+	Path  string
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// ProgramAnalyzer describes one whole-program streamlint check: its Run sees
+// every loaded package at once, so it can build call graphs and follow flows
+// across package boundaries.
+type ProgramAnalyzer struct {
+	// Name identifies the analyzer in diagnostics and on the command line.
+	Name string
+	// Doc is the one-paragraph description printed by -help.
+	Doc string
+	// Run applies the check to the whole program.
+	Run func(*ProgramPass) error
+}
+
+// ProgramPass provides a ProgramAnalyzer with every loaded unit and a sink
+// for its diagnostics. Units appear in load order, which is deterministic
+// for a given pattern list.
+type ProgramPass struct {
+	Analyzer *ProgramAnalyzer
+	Fset     *token.FileSet
+	Units    []*Unit
+
+	// Report receives each diagnostic as it is found.
+	Report func(Diagnostic)
+
+	directives directiveIndex
+}
+
+// Diagnostic is one finding. Chain, when non-empty, is the call chain from
+// an annotated root to the offending site (interprocedural analyzers only).
 type Diagnostic struct {
 	Pos      token.Pos
 	Message  string
 	Analyzer string
+	Chain    []string
 }
 
 // Reportf reports a formatted diagnostic at pos.
@@ -54,10 +95,62 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
 }
 
+// Reportf reports a formatted diagnostic at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// ReportChainf reports a formatted diagnostic at pos carrying the call chain
+// that led to it.
+func (p *ProgramPass) ReportChainf(pos token.Pos, chain []string, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name, Chain: chain})
+}
+
 // directive is one parsed //streamlint:<name> <justification> comment.
 type directive struct {
 	name   string
 	reason string
+}
+
+// directiveIndex maps file name then line number to the directives on that
+// line.
+type directiveIndex map[string]map[int][]directive
+
+func buildDirectiveIndex(fset *token.FileSet, files []*ast.File, idx directiveIndex) {
+	for _, f := range files {
+		position := fset.Position(f.Pos())
+		byLine := idx[position.Filename]
+		if byLine == nil {
+			byLine = make(map[int][]directive)
+			idx[position.Filename] = byLine
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				line := fset.Position(c.Pos()).Line
+				byLine[line] = append(byLine[line], d)
+			}
+		}
+	}
+}
+
+// at reports whether a directive named name sits on the line of pos or the
+// line immediately above it. requireReason enforces the escape-hatch rule:
+// an exemption without a stated justification never suppresses anything.
+func (idx directiveIndex) at(fset *token.FileSet, pos token.Pos, name string, requireReason bool) bool {
+	at := fset.Position(pos)
+	byLine := idx[at.Filename]
+	for _, line := range []int{at.Line, at.Line - 1} {
+		for _, d := range byLine[line] {
+			if d.name == name && (!requireReason || d.reason != "") {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // DirectivePrefix is the comment marker shared by every escape hatch.
@@ -69,32 +162,34 @@ const DirectivePrefix = "//streamlint:"
 // suppresses anything: the invariant may only be waived for a stated reason.
 func (p *Pass) Directive(pos token.Pos, name string) bool {
 	if p.directives == nil {
-		p.directives = make(map[string]map[int][]directive)
-		for _, f := range p.Files {
-			position := p.Fset.Position(f.Pos())
-			byLine := make(map[int][]directive)
-			for _, cg := range f.Comments {
-				for _, c := range cg.List {
-					d, ok := parseDirective(c.Text)
-					if !ok {
-						continue
-					}
-					byLine[p.Fset.Position(c.Pos()).Line] = append(byLine[p.Fset.Position(c.Pos()).Line], d)
-				}
-			}
-			p.directives[position.Filename] = byLine
+		p.directives = make(directiveIndex)
+		buildDirectiveIndex(p.Fset, p.Files, p.directives)
+	}
+	return p.directives.at(p.Fset, pos, name, true)
+}
+
+func (p *ProgramPass) index() directiveIndex {
+	if p.directives == nil {
+		p.directives = make(directiveIndex)
+		for _, u := range p.Units {
+			buildDirectiveIndex(p.Fset, u.Files, p.directives)
 		}
 	}
-	at := p.Fset.Position(pos)
-	byLine := p.directives[at.Filename]
-	for _, line := range []int{at.Line, at.Line - 1} {
-		for _, d := range byLine[line] {
-			if d.name == name && d.reason != "" {
-				return true
-			}
-		}
-	}
-	return false
+	return p.directives
+}
+
+// Directive is the whole-program counterpart of Pass.Directive: an escape
+// hatch with a non-empty justification on the line of pos or the line above.
+func (p *ProgramPass) Directive(pos token.Pos, name string) bool {
+	return p.index().at(p.Fset, pos, name, true)
+}
+
+// Marked reports whether a bare `//streamlint:<name>` marker is attached to
+// the line of pos or the line above it. Unlike Directive, no justification
+// is required: markers declare an obligation (e.g. lockfree roots, the step
+// loop), they do not waive one.
+func (p *ProgramPass) Marked(pos token.Pos, name string) bool {
+	return p.index().at(p.Fset, pos, name, false)
 }
 
 func parseDirective(text string) (directive, bool) {
@@ -120,6 +215,11 @@ func NewInfo() *types.Info {
 
 // IsTestFile reports whether pos lies in a _test.go file.
 func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// IsTestFile reports whether pos lies in a _test.go file.
+func (p *ProgramPass) IsTestFile(pos token.Pos) bool {
 	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
 }
 

@@ -73,6 +73,50 @@ func Run(t *testing.T, root string, a *analysis.Analyzer, pkgPaths ...string) {
 	}
 }
 
+// RunProgram loads the fixture packages (plus any fixture dependencies they
+// import) as one program, runs the whole-program analyzer once over it, and
+// checks diagnostics against the `// want` expectations of every loaded
+// fixture file — dependency fixtures included, so cross-package cases can
+// anchor expectations in either package.
+func RunProgram(t *testing.T, root string, a *analysis.ProgramAnalyzer, pkgPaths ...string) {
+	t.Helper()
+	pkgs, fset, err := load.FixtureProgram(root, pkgPaths...)
+	if err != nil {
+		t.Fatalf("loading fixture program %v: %v", pkgPaths, err)
+	}
+	var units []*analysis.Unit
+	var files []*ast.File
+	for _, p := range pkgs {
+		units = append(units, &analysis.Unit{Path: p.Path, Files: p.Files, Pkg: p.Types, Info: p.Info})
+		files = append(files, p.Files...)
+	}
+	var diags []analysis.Diagnostic
+	pass := &analysis.ProgramPass{
+		Analyzer: a,
+		Fset:     fset,
+		Units:    units,
+		Report:   func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s on %v: %v", a.Name, pkgPaths, err)
+	}
+	expects, err := expectations(fset, files)
+	if err != nil {
+		t.Fatalf("parsing want comments in %v: %v", pkgPaths, err)
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if !claim(expects, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.re)
+		}
+	}
+}
+
 // claim marks the first unmatched expectation on (file, line) whose pattern
 // matches msg, reporting whether one existed.
 func claim(expects []*expectation, file string, line int, msg string) bool {

@@ -1,0 +1,309 @@
+// Package atommix flags mixed atomic/plain access to shared state: once any
+// code accesses a struct field or package-level variable through sync/atomic,
+// every other access program-wide must be atomic too. A plain load racing an
+// atomic store is the classic latent-race shape in Stats/Telemetry-style
+// counters — it passes every test until the scheduler interleaves it, and
+// the Go memory model makes the plain read undefined, not merely stale.
+//
+// Scope: named struct fields (keyed by the declaring struct, so an access
+// through an embedded field matches) and package-level variables. Local
+// variables are excluded on purpose — an atomic counter shared with worker
+// goroutines and read plainly after WaitGroup.Wait is a correct and common
+// idiom. Whole-struct copies and plain stores of a struct with atomically
+// accessed fields count as plain accesses of those fields (`s := t.Stats`
+// reads every counter non-atomically); taking the struct's address does
+// not. Accesses in _test.go files are ignored: tests read counters after
+// the goroutines they race with have joined.
+//
+// Fields of typed-atomic types (atomic.Int64 and friends) need no checking:
+// their method set is the only access path. The escape hatch is
+// `//streamlint:atommix <justification>` on the access line or the line
+// above, matching the suite convention.
+package atommix
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"streamgnn/tools/streamlint/internal/analysis"
+)
+
+// Analyzer is the atommix check.
+var Analyzer = &analysis.ProgramAnalyzer{
+	Name: "atommix",
+	Doc:  "fields and globals accessed via sync/atomic anywhere must be accessed atomically everywhere",
+	Run:  run,
+}
+
+const directive = "atommix"
+
+// access identifies one shared location: a struct field as
+// "pkg.Struct.Field", a package-level var as "pkg.Var".
+type access struct {
+	key string
+	pos token.Pos // the access site
+}
+
+func run(pass *analysis.ProgramPass) error {
+	// Pass A: collect every location accessed through sync/atomic, keeping
+	// the first site per key (unit/file/AST order — deterministic) for the
+	// diagnostic text, plus the exact operand expressions so pass B does
+	// not flag the atomic accesses themselves.
+	atomicSite := make(map[string]token.Pos)
+	operands := make(map[ast.Expr]bool)
+	forEachUnit(pass, func(u *analysis.Unit, f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(u.Info, call)
+			if fn == nil || analysis.PkgPathOf(fn) != "sync/atomic" || len(call.Args) == 0 {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			operand := ast.Unparen(addr.X)
+			key := keyOf(u.Info, operand)
+			if key == "" {
+				return true
+			}
+			operands[operand] = true
+			if _, seen := atomicSite[key]; !seen {
+				atomicSite[key] = operand.Pos()
+			}
+			return true
+		})
+	})
+	if len(atomicSite) == 0 {
+		return nil
+	}
+
+	// Pass B: flag every plain access to a recorded key.
+	forEachUnit(pass, func(u *analysis.Unit, f *ast.File) {
+		if pass.IsTestFile(f.Pos()) {
+			return
+		}
+		var parents []ast.Node
+		selIdents := make(map[*ast.Ident]bool)
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			if n == nil {
+				parents = parents[:len(parents)-1]
+				return false
+			}
+			defer func() { parents = append(parents, n) }()
+			expr, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			switch e := n.(type) {
+			case *ast.SelectorExpr:
+				// The Sel ident is accounted for by this node.
+				selIdents[e.Sel] = true
+			case *ast.Ident:
+				// A declaration introduces a variable, it does not access
+				// one; a Sel ident was handled by its selector.
+				if selIdents[e] || u.Info.Defs[e] != nil {
+					return true
+				}
+			default:
+				return true
+			}
+			if operands[expr] {
+				return true // this is the sanctioned atomic access
+			}
+			parent := enclosing(parents)
+			if key := keyOf(u.Info, expr); key != "" {
+				if site, tracked := atomicSite[key]; tracked {
+					report(pass, u, expr.Pos(), "%s of %s, which is accessed atomically (first at %s); use sync/atomic everywhere or annotate //streamlint:atommix <reason>",
+						accessVerb(parent, expr), key, pass.Fset.Position(site))
+					return true
+				}
+			}
+			// Whole-struct value use: copying or plainly storing a struct
+			// that has atomically accessed fields touches every field
+			// non-atomically.
+			if skipStructUse(parent, expr) {
+				return true
+			}
+			if sname, fields := structKeys(u.Info, expr, atomicSite); len(fields) > 0 {
+				report(pass, u, expr.Pos(), "plain copy of struct %s whose field %s is accessed atomically (first at %s); copy field-by-field with atomic loads or annotate //streamlint:atommix <reason>",
+					sname, fields[0], pass.Fset.Position(atomicSite[fields[0]]))
+			}
+			return true
+		}
+		ast.Inspect(f, walk)
+	})
+	return nil
+}
+
+func report(pass *analysis.ProgramPass, u *analysis.Unit, pos token.Pos, format string, args ...interface{}) {
+	if pass.Directive(pos, directive) {
+		return
+	}
+	pass.Reportf(pos, format, args...)
+}
+
+func forEachUnit(pass *analysis.ProgramPass, fn func(*analysis.Unit, *ast.File)) {
+	for _, u := range pass.Units {
+		for _, f := range u.Files {
+			fn(u, f)
+		}
+	}
+}
+
+// enclosing returns the innermost parent node pushed by the walk.
+func enclosing(parents []ast.Node) ast.Node {
+	if len(parents) == 0 {
+		return nil
+	}
+	return parents[len(parents)-1]
+}
+
+// accessVerb distinguishes reads from writes for the diagnostic text.
+func accessVerb(parent ast.Node, expr ast.Expr) string {
+	switch p := parent.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if lhs == expr {
+				return "plain write"
+			}
+		}
+	case *ast.IncDecStmt:
+		if p.X == expr {
+			return "plain write"
+		}
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			return "escaping address"
+		}
+	}
+	return "plain read"
+}
+
+// skipStructUse reports whether a struct-typed expression use is harmless:
+// the base of a field selection, or an address-take (a pointer to the
+// struct is how the atomic accessors themselves reach it).
+func skipStructUse(parent ast.Node, expr ast.Expr) bool {
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		return p.X == expr
+	case *ast.UnaryExpr:
+		return p.Op == token.AND && p.X == expr
+	case *ast.KeyValueExpr:
+		return p.Key == expr
+	}
+	return false
+}
+
+// keyOf returns the program-wide identity of the location expr denotes, or
+// "" when it is not a struct field or package-level variable.
+func keyOf(info *types.Info, expr ast.Expr) string {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		if sel := info.Selections[e]; sel != nil && sel.Kind() == types.FieldVal {
+			owner, field := fieldOwner(sel)
+			if owner != nil {
+				return fmt.Sprintf("%s.%s.%s", pkgPath(owner.Obj().Pkg()), owner.Obj().Name(), field.Name())
+			}
+			return ""
+		}
+		// Qualified identifier pkg.Var has no Selection.
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok && isPackageLevel(v) {
+			return fmt.Sprintf("%s.%s", pkgPath(v.Pkg()), v.Name())
+		}
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		if v, ok := obj.(*types.Var); ok && isPackageLevel(v) {
+			return fmt.Sprintf("%s.%s", pkgPath(v.Pkg()), v.Name())
+		}
+	}
+	return ""
+}
+
+func pkgPath(p *types.Package) string {
+	if p == nil {
+		return ""
+	}
+	return p.Path()
+}
+
+func isPackageLevel(v *types.Var) bool {
+	return !v.IsField() && v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// fieldOwner resolves the named struct type that declares the selected
+// field, following the selection's embedding path so promoted fields key on
+// their true declaring struct.
+func fieldOwner(sel *types.Selection) (*types.Named, *types.Var) {
+	t := sel.Recv()
+	index := sel.Index()
+	for _, i := range index[:len(index)-1] {
+		st := structUnder(t)
+		if st == nil {
+			return nil, nil
+		}
+		t = st.Field(i).Type()
+	}
+	named, _ := deref(t).(*types.Named)
+	st := structUnder(t)
+	if named == nil || st == nil {
+		return nil, nil
+	}
+	last := index[len(index)-1]
+	if last >= st.NumFields() {
+		return nil, nil
+	}
+	return named, st.Field(last)
+}
+
+func deref(t types.Type) types.Type {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+func structUnder(t types.Type) *types.Struct {
+	st, _ := deref(t).Underlying().(*types.Struct)
+	return st
+}
+
+// structKeys returns, when expr's type is a named struct with atomically
+// accessed fields, the struct's display name and those field keys (in field
+// declaration order).
+func structKeys(info *types.Info, expr ast.Expr, atomicSite map[string]token.Pos) (string, []string) {
+	tv, ok := info.Types[expr]
+	if !ok || !tv.IsValue() {
+		// Type names (Stats{...}, var s Stats, receiver types) are uses of
+		// the type, not copies of a value.
+		return "", nil
+	}
+	// Only direct struct values count: copying a *pointer* to the struct
+	// touches no fields.
+	named, _ := tv.Type.(*types.Named)
+	if named == nil {
+		return "", nil
+	}
+	st, _ := named.Underlying().(*types.Struct)
+	if st == nil {
+		return "", nil
+	}
+	prefix := fmt.Sprintf("%s.%s", pkgPath(named.Obj().Pkg()), named.Obj().Name())
+	var keys []string
+	for i := 0; i < st.NumFields(); i++ {
+		key := prefix + "." + st.Field(i).Name()
+		if _, tracked := atomicSite[key]; tracked {
+			keys = append(keys, key)
+		}
+	}
+	return prefix, keys
+}

@@ -247,18 +247,47 @@ func (fi *fixtureImporter) load(path string) (*Package, error) {
 // Fixture loads the fixture package at root/<path> (root is a GOPATH-style
 // src directory, typically testdata/src).
 func Fixture(root, path string) (*Package, *token.FileSet, error) {
+	pkgs, fset, err := FixtureProgram(root, path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkgs[0], fset, nil
+}
+
+// FixtureProgram loads the fixture packages at root/<paths> plus every
+// fixture dependency they pulled in, as one program sharing a FileSet —
+// the whole-program analyzers need all units at once. The requested
+// packages come first in request order; dependencies follow sorted by
+// import path.
+func FixtureProgram(root string, paths ...string) ([]*Package, *token.FileSet, error) {
 	std, err := stdlibExports()
 	if err != nil {
 		return nil, nil, err
 	}
 	fset := token.NewFileSet()
 	fi := &fixtureImporter{root: root, fset: fset, std: exportImporter(fset, std), loaded: make(map[string]*Package)}
-	p, err := fi.load(path)
-	if err != nil {
-		return nil, nil, err
+	var out []*Package
+	requested := make(map[string]bool, len(paths))
+	for _, path := range paths {
+		p, err := fi.load(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		if p == nil {
+			return nil, nil, fmt.Errorf("no fixture package at %s", filepath.Join(root, path))
+		}
+		requested[path] = true
+		out = append(out, p)
 	}
-	if p == nil {
-		return nil, nil, fmt.Errorf("no fixture package at %s", filepath.Join(root, path))
+	var deps []string
+	for path := range fi.loaded {
+		if !requested[path] {
+			deps = append(deps, path)
+		}
 	}
-	return p, fset, nil
+	sort.Strings(deps)
+	for _, path := range deps {
+		out = append(out, fi.loaded[path])
+	}
+	return out, fset, nil
 }

@@ -1,19 +1,29 @@
 // Command streamlint is the repository's invariant checker: a multichecker
-// over four repo-specific analyzers (detorder, poolsafe, ckptstate,
-// atomalign) built on the stdlib-only analysis scaffolding in
-// internal/analysis — the offline build environment cannot vendor
-// golang.org/x/tools, so streamlint carries a miniature of its API instead.
+// over seven repo-specific analyzers built on the stdlib-only analysis
+// scaffolding in internal/analysis — the offline build environment cannot
+// vendor golang.org/x/tools, so streamlint carries a miniature of its API
+// instead. Four analyzers check one package at a time (detorder, poolsafe,
+// ckptstate, atomalign); three reason over the whole program through the
+// interprocedural call graph in internal/callgraph (lockfree, snapimmut,
+// atommix).
 //
 // Two modes:
 //
-//	go run ./tools/streamlint ./...        # standalone, over package patterns
-//	go vet -vettool=$(which streamlint)    # unit-checker protocol under cmd/go
+//	go run ./tools/streamlint [-json] ./...   # standalone, over package patterns
+//	go vet -vettool=$(which streamlint)       # unit-checker protocol under cmd/go
 //
 // Standalone mode resolves patterns with `go list -deps -export` and
 // type-checks targets against build-cache export data, so it needs no
-// network and no pre-installed archives. Vettool mode implements the cmd/go
-// JSON config protocol (-V=full, -flags, then one *.cfg per package unit),
-// which also covers _test.go files.
+// network and no pre-installed archives; the whole-program analyzers see
+// every matched package at once. Vettool mode implements the cmd/go JSON
+// config protocol (-V=full, -flags, then one *.cfg per package unit), which
+// also covers _test.go files; there the whole-program analyzers see a
+// single-unit program, so their cross-package edges are absent — the
+// standalone run is the CI gate for those.
+//
+// -json additionally writes the diagnostics to stdout as a JSON array of
+// {file, line, col, analyzer, message, chain} objects (sorted like the
+// human output), for diffable CI artifacts.
 //
 // Exit status: 0 clean, 1 usage or load failure, 2 diagnostics reported.
 package main
@@ -34,13 +44,16 @@ import (
 
 	"streamgnn/tools/streamlint/internal/analysis"
 	"streamgnn/tools/streamlint/internal/checks/atomalign"
+	"streamgnn/tools/streamlint/internal/checks/atommix"
 	"streamgnn/tools/streamlint/internal/checks/ckptstate"
 	"streamgnn/tools/streamlint/internal/checks/detorder"
+	"streamgnn/tools/streamlint/internal/checks/lockfree"
 	"streamgnn/tools/streamlint/internal/checks/poolsafe"
+	"streamgnn/tools/streamlint/internal/checks/snapimmut"
 	"streamgnn/tools/streamlint/internal/load"
 )
 
-// analyzers is the streamlint suite, in reporting order.
+// analyzers is the per-package streamlint suite, in reporting order.
 var analyzers = []*analysis.Analyzer{
 	detorder.Analyzer,
 	poolsafe.Analyzer,
@@ -48,12 +61,20 @@ var analyzers = []*analysis.Analyzer{
 	atomalign.Analyzer,
 }
 
+// programAnalyzers is the whole-program suite: each Run sees every loaded
+// unit at once.
+var programAnalyzers = []*analysis.ProgramAnalyzer{
+	lockfree.Analyzer,
+	snapimmut.Analyzer,
+	atommix.Analyzer,
+}
+
 func main() {
 	args := os.Args[1:]
 	// cmd/go probes the vettool twice before use: -V=full for the content
 	// ID, -flags for the analyzer flags it may forward.
 	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
-		fmt.Printf("streamlint version 1 buildID=streamlint-determinism-suite-v1\n")
+		fmt.Printf("streamlint version 1 buildID=streamlint-determinism-suite-v2\n")
 		return
 	}
 	if len(args) == 1 && args[0] == "-flags" {
@@ -67,20 +88,34 @@ func main() {
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		os.Exit(unitCheck(args[0]))
 	}
-	if len(args) == 0 {
-		args = []string{"./..."}
+	jsonOut := false
+	var patterns []string
+	for _, a := range args {
+		if a == "-json" {
+			jsonOut = true
+			continue
+		}
+		patterns = append(patterns, a)
 	}
-	os.Exit(standalone(args))
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	os.Exit(standalone(patterns, jsonOut))
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintf(w, "usage: streamlint [packages]   (or as go vet -vettool)\n\nanalyzers:\n")
+	fmt.Fprintf(w, "usage: streamlint [-json] [packages]   (or as go vet -vettool)\n\nper-package analyzers:\n")
 	for _, a := range analyzers {
+		fmt.Fprintf(w, "  %-10s %s\n", a.Name, a.Doc)
+	}
+	fmt.Fprintf(w, "\nwhole-program analyzers:\n")
+	for _, a := range programAnalyzers {
 		fmt.Fprintf(w, "  %-10s %s\n", a.Name, a.Doc)
 	}
 }
 
-// runAll applies every analyzer to one package and returns its diagnostics.
+// runAll applies every per-package analyzer to one package and returns its
+// diagnostics.
 func runAll(fset *token.FileSet, pkg *load.Package) ([]analysis.Diagnostic, error) {
 	var diags []analysis.Diagnostic
 	for _, a := range analyzers {
@@ -99,9 +134,29 @@ func runAll(fset *token.FileSet, pkg *load.Package) ([]analysis.Diagnostic, erro
 	return diags, nil
 }
 
-// print writes diagnostics in the canonical file:line:col form, sorted by
-// position, and returns how many there were.
-func print(fset *token.FileSet, diags []analysis.Diagnostic) int {
+// runProgram applies every whole-program analyzer to the loaded units.
+func runProgram(fset *token.FileSet, pkgs []*load.Package) ([]analysis.Diagnostic, error) {
+	units := make([]*analysis.Unit, 0, len(pkgs))
+	for _, p := range pkgs {
+		units = append(units, &analysis.Unit{Path: p.Path, Files: p.Files, Pkg: p.Types, Info: p.Info})
+	}
+	var diags []analysis.Diagnostic
+	for _, a := range programAnalyzers {
+		pass := &analysis.ProgramPass{
+			Analyzer: a,
+			Fset:     fset,
+			Units:    units,
+			Report:   func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+	return diags, nil
+}
+
+// sortDiags orders diagnostics in the canonical file:line:col order.
+func sortDiags(fset *token.FileSet, diags []analysis.Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
 		if pi.Filename != pj.Filename {
@@ -112,14 +167,51 @@ func print(fset *token.FileSet, diags []analysis.Diagnostic) int {
 		}
 		return pi.Column < pj.Column
 	})
+}
+
+// print writes diagnostics in the canonical file:line:col form, sorted by
+// position, and returns how many there were.
+func print(fset *token.FileSet, diags []analysis.Diagnostic) int {
+	sortDiags(fset, diags)
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
 	}
 	return len(diags)
 }
 
+// jsonDiagnostic is the -json wire form of one finding.
+type jsonDiagnostic struct {
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Col      int      `json:"col"`
+	Analyzer string   `json:"analyzer"`
+	Message  string   `json:"message"`
+	Chain    []string `json:"chain,omitempty"`
+}
+
+// printJSON writes the sorted diagnostics to stdout as a JSON array (always
+// an array, [] when clean, so CI diffs are stable).
+func printJSON(fset *token.FileSet, diags []analysis.Diagnostic) error {
+	sortDiags(fset, diags)
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		out = append(out, jsonDiagnostic{
+			File:     pos.Filename,
+			Line:     pos.Line,
+			Col:      pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+			Chain:    d.Chain,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
 // standalone loads package patterns and checks them all.
-func standalone(patterns []string) int {
+func standalone(patterns []string, jsonOut bool) int {
 	pkgs, fset, err := load.Packages("", patterns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "streamlint:", err)
@@ -133,6 +225,18 @@ func standalone(patterns []string) int {
 			return 1
 		}
 		diags = append(diags, ds...)
+	}
+	ds, err := runProgram(fset, pkgs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "streamlint:", err)
+		return 1
+	}
+	diags = append(diags, ds...)
+	if jsonOut {
+		if err := printJSON(fset, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "streamlint:", err)
+			return 1
+		}
 	}
 	if print(fset, diags) > 0 {
 		return 2
@@ -156,7 +260,9 @@ type vetConfig struct {
 	SucceedOnTypecheckFailure bool
 }
 
-// unitCheck analyzes one cmd/go vet unit.
+// unitCheck analyzes one cmd/go vet unit. The whole-program analyzers run
+// over a single-unit program here: intra-package chains are still caught,
+// cross-package ones need the standalone mode.
 func unitCheck(cfgPath string) int {
 	raw, err := os.ReadFile(cfgPath)
 	if err != nil {
@@ -221,6 +327,12 @@ func unitCheck(cfgPath string) int {
 		fmt.Fprintln(os.Stderr, "streamlint:", err)
 		return 1
 	}
+	pds, err := runProgram(fset, []*load.Package{pkg})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "streamlint:", err)
+		return 1
+	}
+	diags = append(diags, pds...)
 	if print(fset, diags) > 0 {
 		return 2
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -9,9 +10,12 @@ import (
 
 	"streamgnn/tools/streamlint/internal/analysistest"
 	"streamgnn/tools/streamlint/internal/checks/atomalign"
+	"streamgnn/tools/streamlint/internal/checks/atommix"
 	"streamgnn/tools/streamlint/internal/checks/ckptstate"
 	"streamgnn/tools/streamlint/internal/checks/detorder"
+	"streamgnn/tools/streamlint/internal/checks/lockfree"
 	"streamgnn/tools/streamlint/internal/checks/poolsafe"
+	"streamgnn/tools/streamlint/internal/checks/snapimmut"
 )
 
 var fixtureRoot = filepath.Join("testdata", "src")
@@ -42,6 +46,21 @@ func TestCkptStateFixtures(t *testing.T) {
 
 func TestAtomAlignFixtures(t *testing.T) {
 	analysistest.Run(t, fixtureRoot, atomalign.Analyzer, "atomalign/a")
+}
+
+func TestLockfreeFixtures(t *testing.T) {
+	analysistest.RunProgram(t, fixtureRoot, lockfree.Analyzer, "lockfree/a")
+}
+
+func TestSnapImmutFixtures(t *testing.T) {
+	analysistest.RunProgram(t, fixtureRoot, snapimmut.Analyzer, "snapimmut/a")
+}
+
+func TestAtomMixFixtures(t *testing.T) {
+	// atommix/a plainly reads a counter its dependency atommix/b writes
+	// atomically; loading a's program pulls b in, and the cross-package mix
+	// is caught program-wide.
+	analysistest.RunProgram(t, fixtureRoot, atommix.Analyzer, "atommix/a")
 }
 
 // buildTool compiles the streamlint binary once for the protocol tests.
@@ -91,6 +110,157 @@ func keys(m map[int]bool) []int {
 	}
 	if !strings.Contains(string(out), "randomized iteration order") {
 		t.Fatalf("missing detorder diagnostic:\n%s", out)
+	}
+}
+
+// seededLockfree is a module that annotates a serving function lock-free
+// and then reaches a mutex two calls down.
+const seededLockfree = `package bad
+
+import "sync"
+
+var mu sync.Mutex
+
+//streamlint:lockfree
+func Serve() int {
+	return helper()
+}
+
+func helper() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return 1
+}
+`
+
+// TestStandaloneFindsSeededLockfreeViolation mirrors the CI self-test: a
+// mutex acquisition behind a lockfree annotation must fail the run, and the
+// diagnostic must spell out the whole call chain.
+func TestStandaloneFindsSeededLockfreeViolation(t *testing.T) {
+	bin := buildTool(t)
+	dir := t.TempDir()
+	writeModule(t, dir, seededLockfree)
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 2 {
+		t.Fatalf("want exit 2 with findings, got err=%v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "call chain: example.com/scratch.Serve -> example.com/scratch.helper -> (*sync.Mutex).Lock") {
+		t.Fatalf("missing lockfree call chain:\n%s", out)
+	}
+}
+
+// TestStandaloneFindsSeededAtomMixViolation seeds a plain read of an
+// atomically written counter.
+func TestStandaloneFindsSeededAtomMixViolation(t *testing.T) {
+	bin := buildTool(t)
+	dir := t.TempDir()
+	writeModule(t, dir, `package bad
+
+import "sync/atomic"
+
+type stats struct{ ops int64 }
+
+var s stats
+
+func bump() { atomic.AddInt64(&s.ops, 1) }
+
+func read() int64 { return s.ops }
+`)
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 2 {
+		t.Fatalf("want exit 2 with findings, got err=%v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "atommix") || !strings.Contains(string(out), "accessed atomically") {
+		t.Fatalf("missing atommix diagnostic:\n%s", out)
+	}
+}
+
+// TestStandaloneFindsSeededSnapImmutViolation seeds a Set on a published
+// matrix.
+func TestStandaloneFindsSeededSnapImmutViolation(t *testing.T) {
+	bin := buildTool(t)
+	dir := t.TempDir()
+	writeModule(t, dir, `package bad
+
+type Matrix struct{ Data []float64 }
+
+func (m *Matrix) Set(i int, v float64) { m.Data[i] = v }
+
+type store struct{ emb *Matrix }
+
+func (s *store) Publish() *Matrix { return s.emb }
+
+func corrupt(s *store) {
+	m := s.Publish()
+	m.Set(0, 1)
+}
+`)
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 2 {
+		t.Fatalf("want exit 2 with findings, got err=%v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "snapimmut") || !strings.Contains(string(out), "derived from Publish()") {
+		t.Fatalf("missing snapimmut diagnostic:\n%s", out)
+	}
+}
+
+// TestStandaloneJSON checks the -json satellite: stdout carries the sorted
+// diagnostic array with the lockfree chain, machine-readable for CI diffs.
+func TestStandaloneJSON(t *testing.T) {
+	bin := buildTool(t)
+	dir := t.TempDir()
+	writeModule(t, dir, seededLockfree)
+	cmd := exec.Command(bin, "-json", "./...")
+	cmd.Dir = dir
+	stdout, err := cmd.Output()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 2 {
+		t.Fatalf("want exit 2 with findings, got err=%v\n%s", err, stdout)
+	}
+	var diags []struct {
+		File     string   `json:"file"`
+		Line     int      `json:"line"`
+		Col      int      `json:"col"`
+		Analyzer string   `json:"analyzer"`
+		Message  string   `json:"message"`
+		Chain    []string `json:"chain"`
+	}
+	if err := json.Unmarshal(stdout, &diags); err != nil {
+		t.Fatalf("parsing -json output: %v\n%s", err, stdout)
+	}
+	if len(diags) == 0 {
+		t.Fatal("no diagnostics in JSON output")
+	}
+	found := false
+	for _, d := range diags {
+		if d.Analyzer != "lockfree" {
+			continue
+		}
+		found = true
+		if d.File == "" || d.Line == 0 {
+			t.Errorf("diagnostic missing position: %+v", d)
+		}
+		want := []string{"example.com/scratch.Serve", "example.com/scratch.helper", "(*sync.Mutex).Lock"}
+		if len(d.Chain) != len(want) {
+			t.Fatalf("chain = %v, want %v", d.Chain, want)
+		}
+		for i := range want {
+			if d.Chain[i] != want[i] {
+				t.Fatalf("chain = %v, want %v", d.Chain, want)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no lockfree diagnostic in JSON output: %s", stdout)
 	}
 }
 

@@ -1,0 +1,83 @@
+// Package a exercises the atommix analyzer: once a field or package-level
+// var is accessed through sync/atomic, every access must be atomic.
+package a
+
+import (
+	"sync/atomic"
+
+	"atommix/b"
+)
+
+// Stats is the classic counter block: workers Add atomically, so every
+// reader must Load atomically too.
+type Stats struct {
+	Hits   int64
+	Misses int64
+}
+
+type Server struct {
+	stats Stats
+	done  int64
+}
+
+func (s *Server) work() {
+	atomic.AddInt64(&s.stats.Hits, 1)
+	atomic.AddInt64(&s.stats.Misses, 1)
+	atomic.StoreInt64(&s.done, 1)
+}
+
+func (s *Server) goodRead() int64 {
+	st := &s.stats // taking the struct's address is fine
+	return atomic.LoadInt64(&st.Hits) + atomic.LoadInt64(&s.done)
+}
+
+func (s *Server) goodPointerCopy() *Stats {
+	st := &s.stats
+	p := st // copying a pointer touches no fields
+	return p
+}
+
+func (s *Server) badRead() int64 {
+	return s.stats.Hits // want `plain read of atommix/a\.Stats\.Hits, which is accessed atomically`
+}
+
+func (s *Server) badWrite() {
+	s.stats.Misses = 0 // want `plain write of atommix/a\.Stats\.Misses, which is accessed atomically`
+}
+
+func (s *Server) badCopy() Stats {
+	return s.stats // want `plain copy of struct atommix/a\.Stats whose field atommix/a\.Stats\.Hits is accessed atomically`
+}
+
+func (s *Server) exemptRead() int64 {
+	//streamlint:atommix fixture: reader runs after every writer goroutine has joined
+	return s.stats.Hits
+}
+
+// plainOnly is never touched atomically, so plain access stays legal.
+type plainOnly struct {
+	n int64
+}
+
+func (p *plainOnly) bump() int64 {
+	p.n++
+	return p.n
+}
+
+// counter is a package-level var accessed atomically by incr.
+var counter int64
+
+func incr() {
+	atomic.AddInt64(&counter, 1)
+}
+
+func badGlobalRead() int64 {
+	return counter // want `plain read of atommix/a\.counter, which is accessed atomically`
+}
+
+// CrossPackage reads b.Ops plainly while package b writes it atomically —
+// the program-wide view catches the mix across package boundaries.
+func CrossPackage() int64 {
+	b.Record()
+	return b.Ops // want `plain read of atommix/b\.Ops, which is accessed atomically`
+}

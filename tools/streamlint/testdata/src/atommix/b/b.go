@@ -1,0 +1,12 @@
+// Package b is the writer side of the cross-package atommix fixture.
+package b
+
+import "sync/atomic"
+
+// Ops counts recorded operations; writers use sync/atomic.
+var Ops int64
+
+// Record bumps the counter from worker goroutines.
+func Record() {
+	atomic.AddInt64(&Ops, 1)
+}

@@ -1,0 +1,33 @@
+// Package a is the call-graph construction fixture: plain, deferred,
+// goroutine, closure, method-value and interface-dispatched calls.
+package a
+
+type Doer interface{ Do() }
+
+type A struct{}
+
+func (A) Do() {}
+
+type B struct{}
+
+func (B) Do() {}
+
+type T struct{}
+
+func (T) M() {}
+
+func Root(d Doer) {
+	plain()
+	defer deferred()
+	go spawned()
+	func() { inClosure() }()
+	var t T
+	f := t.M
+	f()
+	d.Do()
+}
+
+func plain()     {}
+func deferred()  {}
+func spawned()   {}
+func inClosure() {}

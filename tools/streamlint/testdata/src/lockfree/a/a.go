@@ -1,0 +1,138 @@
+// Package a exercises the lockfree analyzer: annotated roots must not
+// transitively acquire sync locks or call step-loop functions.
+package a
+
+import "sync"
+
+var mu sync.Mutex
+var rw sync.RWMutex
+
+// ServeDirect locks directly on the annotated function.
+//
+//streamlint:lockfree
+func ServeDirect() { // want `a\.ServeDirect is annotated //streamlint:lockfree but transitively acquires \(\*sync\.Mutex\)\.Lock .*call chain: lockfree/a\.ServeDirect -> \(\*sync\.Mutex\)\.Lock`
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+func helper() {
+	mu.Lock()
+	mu.Unlock()
+}
+
+func middle() {
+	helper()
+}
+
+// ServeIndirect reaches the lock two frames down; the chain names each hop.
+//
+//streamlint:lockfree
+func ServeIndirect() { // want `call chain: lockfree/a\.ServeIndirect -> lockfree/a\.middle -> lockfree/a\.helper -> \(\*sync\.Mutex\)\.Lock`
+	middle()
+}
+
+func readLocked() int {
+	rw.RLock()
+	defer rw.RUnlock()
+	return 1
+}
+
+// ServeRead reaches an RWMutex read lock through a helper.
+//
+//streamlint:lockfree
+func ServeRead() int { // want `transitively acquires \(\*sync\.RWMutex\)\.RLock`
+	return readLocked()
+}
+
+// Source is dispatched through an interface: CHA resolves the call to both
+// implementations, and the locking one is flagged.
+type Source interface {
+	Get() int
+}
+
+type lockingSource struct{ mu sync.Mutex }
+
+func (s *lockingSource) Get() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return 1
+}
+
+type pureSource struct{ v int }
+
+func (s *pureSource) Get() int { return s.v }
+
+// ServeIface calls through the interface; the chain goes through the
+// locking implementation.
+//
+//streamlint:lockfree
+func ServeIface(s Source) int { // want `call chain: lockfree/a\.ServeIface -> \(\*lockfree/a\.lockingSource\)\.Get -> \(\*sync\.Mutex\)\.Lock`
+	return s.Get()
+}
+
+// ServePure only dispatches to implementations, and the analyzer still
+// follows them — but a pure concrete call is clean.
+//
+//streamlint:lockfree
+func ServePure(s *pureSource) int {
+	return s.Get()
+}
+
+// exemptedHelper takes a lock, but its declaration waives the check with a
+// justified directive.
+//
+//streamlint:lockfree-exempt fixture: bounded O(1) critical section, never contends with the step loop
+func exemptedHelper() {
+	mu.Lock()
+	mu.Unlock()
+}
+
+// ServeExempted is clean: the only lock is behind a declaration-level
+// exemption.
+//
+//streamlint:lockfree
+func ServeExempted() {
+	exemptedHelper()
+}
+
+// ServeSiteExempt is clean: the offending call edge is waived at the site.
+//
+//streamlint:lockfree
+func ServeSiteExempt() {
+	middle() //streamlint:lockfree-exempt fixture: this call is audited by hand
+}
+
+// Step stands in for the engine step loop.
+//
+//streamlint:steploop
+func Step() {}
+
+func viaStep() { Step() }
+
+// ServeStep must not reach the step loop, even indirectly.
+//
+//streamlint:lockfree
+func ServeStep() { // want `transitively calls step-loop function lockfree/a\.Step: call chain: lockfree/a\.ServeStep -> lockfree/a\.viaStep -> lockfree/a\.Step`
+	viaStep()
+}
+
+// ServeMethodValue binds the lock as a method value; the reference edge is
+// treated as a call.
+//
+//streamlint:lockfree
+func ServeMethodValue() { // want `transitively acquires \(\*sync\.Mutex\)\.Lock`
+	f := mu.Lock
+	f()
+	mu.Unlock()
+}
+
+// ServeClean is the negative case: arithmetic, slices, channel-free code.
+//
+//streamlint:lockfree
+func ServeClean(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
