@@ -14,6 +14,14 @@
 //	queryd -input mystream.jsonl -model ROLAND       # external data
 //	queryd -listen :8080 -checkpoint queryd.ckpt     # service mode
 //	queryd -checkpoint queryd.ckpt -resume           # continue after restart
+//	queryd -role=replica -listen :9201 -replica-id 0 # shard-replica service
+//	queryd -role=coordinator -shards 2 -peers http://127.0.0.1:9201,http://127.0.0.1:9202
+//
+// Cluster mode (DESIGN.md §17) splits the single process into a coordinator
+// (the engine, stream replay and training) and one replica service per
+// shard: replicas mirror the graph from replicated event batches, execute
+// their shard's forward part, and serve fanned-out /query slices from a
+// published snapshot — bit-identical to the in-process -shards run.
 //
 // Admin endpoints (with -listen):
 //
@@ -36,14 +44,17 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
 	"streamgnn"
+	"streamgnn/internal/cluster"
 	"streamgnn/internal/obs"
 	"streamgnn/internal/query"
 	"streamgnn/internal/serve"
@@ -52,7 +63,7 @@ import (
 )
 
 func main() {
-	dataset := flag.String("dataset", "Bitcoin", "workload: Bitcoin, Reddit, Taxi, StackOverflow, UCIMessages")
+	dataset := flag.String("dataset", "Bitcoin", "workload: "+strings.Join(workload.Names(), ", "))
 	input := flag.String("input", "", "replay an external JSONL event stream instead of a built-in workload")
 	model := flag.String("model", "TGCN", "DGNN baseline")
 	strategy := flag.String("strategy", "kde", "training strategy: full, weighted, kde")
@@ -76,6 +87,10 @@ func main() {
 	shardLayout := flag.String("shard-layout", "hash", "node-to-shard layout with -shards: hash or range")
 	batchMax := flag.Int("batch-max", 64, "B: flush a /query micro-batch as soon as this many queries are pending")
 	batchWait := flag.Duration("batch-wait", 2*time.Millisecond, "T: flush a /query micro-batch this long after its first query")
+	role := flag.String("role", "", "cluster role: coordinator or replica; empty runs the single-process service (see DESIGN.md §17)")
+	peers := flag.String("peers", "", "with -role=coordinator: comma-separated replica base URLs, one per shard in shard order (e.g. http://127.0.0.1:9201,http://127.0.0.1:9202)")
+	replicaID := flag.Int("replica-id", -1, "with -role=replica: pin the shard index this replica serves; -1 accepts the coordinator's assignment")
+	wal := flag.String("wal", "", "with -role=replica: write-ahead log of applied event batches, replayed on -resume to rebuild the graph mirror")
 	flag.Parse()
 
 	opts := options{
@@ -89,6 +104,7 @@ func main() {
 		interval:    *interval, kernelWorkers: *kernelWorkers,
 		shards: *shards, shardLayout: *shardLayout,
 		batchMax: *batchMax, batchWait: *batchWait,
+		role: *role, peers: *peers, replicaID: *replicaID, walPath: *wal,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "queryd:", err)
@@ -118,9 +134,25 @@ type options struct {
 	shardLayout                     string
 	batchMax                        int
 	batchWait                       time.Duration
+	role                            string
+	peers                           string
+	replicaID                       int
+	walPath                         string
 }
 
 func run(opts options) error {
+	switch opts.role {
+	case "":
+		// Single-process service.
+	case "replica":
+		return runReplica(opts)
+	case "coordinator":
+		// Falls through to the normal service loop; the coordinator is
+		// wired in below, after the engine exists.
+	default:
+		return fmt.Errorf("unknown -role %q (want coordinator or replica)", opts.role)
+	}
+
 	// A resume run must build an engine compatible with the checkpoint, so
 	// the saved header overrides the model/strategy/hidden flags.
 	var ckptData []byte
@@ -149,6 +181,26 @@ func run(opts options) error {
 		}
 		resumeStep = info.Step
 		fmt.Printf("resuming %s/%s at step %d from %s\n", info.Model, info.Strategy, info.Step, opts.ckptPath)
+	}
+
+	// Coordinator mode: one replica per shard, addressed in shard order.
+	// -shards may be omitted (it follows the peer count) but must agree with
+	// it when given — and with the checkpoint's partition on resume.
+	var peerURLs []string
+	if opts.role == "coordinator" {
+		peerURLs = opts.peerList()
+		if len(peerURLs) == 0 {
+			return errors.New("-role=coordinator requires -peers")
+		}
+		if opts.shards == 0 {
+			opts.shards = len(peerURLs)
+		}
+		if opts.shards != len(peerURLs) {
+			return fmt.Errorf("partition has %d shards but -peers names %d replicas", opts.shards, len(peerURLs))
+		}
+		if opts.shards < 2 {
+			return errors.New("coordinator mode needs at least 2 replicas (one per shard)")
+		}
 	}
 
 	ds, err := loadDataset(opts)
@@ -198,9 +250,28 @@ func run(opts options) error {
 		eng.EnableLinkPrediction()
 	}
 
+	// Coordinator mode hooks in before the replayer so every stream batch —
+	// including the ones replayed during a -resume fast-forward — is routed
+	// to the replica outboxes before the engine consumes it.
+	var coord *cluster.Coordinator
+	src := stream.Source(ds.Source())
+	var routed *routingSource
+	if opts.role == "coordinator" {
+		trans := make([]cluster.Transport, len(peerURLs))
+		for i, p := range peerURLs {
+			trans[i] = &cluster.HTTPTransport{Base: p}
+		}
+		if coord, err = cluster.NewCoordinator(eng, trans); err != nil {
+			return err
+		}
+		routed = &routingSource{src: src, coord: coord}
+		src = routed
+		fmt.Printf("coordinating %d shard replicas: %s\n", len(peerURLs), strings.Join(peerURLs, ", "))
+	}
+
 	// The engine owns sliding-window expiry (Config.WindowSteps), so the
 	// replayer only applies events.
-	rep := stream.NewReplayer(eng.Graph(), ds.Source(), 0)
+	rep := stream.NewReplayer(eng.Graph(), src, 0)
 	if opts.resume {
 		// Rebuild the snapshot by replaying the stream up to the saved step
 		// (the checkpoint holds learned and runtime state, not the graph).
@@ -209,13 +280,36 @@ func run(opts options) error {
 				return fmt.Errorf("stream ends at step %d, checkpoint is from step %d", i, resumeStep)
 			}
 		}
+		if routed != nil && routed.err != nil {
+			return routed.err
+		}
 		if err := eng.LoadCheckpoint(bytes.NewReader(ckptData)); err != nil {
 			return err
 		}
 	}
 
 	srv := &server{eng: eng, dataset: ds.Name, started: time.Now()}
-	srv.batcher = serve.NewBatcher(serve.Config{MaxBatch: opts.batchMax, MaxWait: opts.batchWait}, srv.answerBatch)
+	answer := serve.Answerer(srv.answerBatch)
+	if coord != nil {
+		// Fan /query micro-batches out across the replicas' serving mirrors;
+		// anything unroutable (or any failed remote slice) is answered
+		// locally, so remote serving can accelerate but never change an
+		// answer. PublishStep runs under mu right after each Step so the
+		// mirrors always serve the latest completed step.
+		remoteFns := coord.RemoteAnswerers()
+		remotes := make([]serve.Answerer, len(remoteFns))
+		for i, f := range remoteFns {
+			remotes[i] = serve.Answerer(f)
+		}
+		answer = serve.NewFanout(answer, serve.Router(coord.Route), remotes)
+		srv.afterStep = func() {
+			if snap := eng.QuerySnapshot(); snap != nil {
+				coord.PublishStep(snap.Step())
+			}
+		}
+		srv.extraMetrics = coord.WriteMetrics
+	}
+	srv.batcher = serve.NewBatcher(serve.Config{MaxBatch: opts.batchMax, MaxWait: opts.batchWait}, answer)
 	defer srv.batcher.Close()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -252,10 +346,12 @@ func run(opts options) error {
 		fmt.Printf("\nshutdown signal at step %d\n", rep.Step())
 	}
 
+	// Quiesce serving before the final checkpoint (the deferred Close above
+	// is only a safety net for the error paths — Close is idempotent).
+	if err := srv.shutdown(opts.ckptPath); err != nil {
+		return err
+	}
 	if opts.ckptPath != "" {
-		if err := srv.writeCheckpoint(opts.ckptPath); err != nil {
-			return err
-		}
 		fmt.Printf("checkpoint written to %s\n", opts.ckptPath)
 	}
 	if httpSrv != nil {
@@ -322,6 +418,13 @@ type server struct {
 	// density queries, which evaluate from the snapshot's frozen seed window
 	// and walk adjacency — score concurrently with the replay loop's Step.
 	batcher *serve.Batcher
+
+	// afterStep, when set, runs under mu right after each successful Step —
+	// coordinator mode publishes the new serving snapshot to the replicas.
+	afterStep func()
+	// extraMetrics, when set, appends extra metric families to /metrics
+	// (coordinator mode: the streamgnn_cluster_* family).
+	extraMetrics func(io.Writer)
 }
 
 // answerBatch answers one flushed micro-batch against the latest published
@@ -379,6 +482,9 @@ func (s *server) replay(ctx context.Context, rep *stream.Replayer, rate float64)
 			s.mu.Unlock()
 			return false, err
 		}
+		if s.afterStep != nil {
+			s.afterStep()
+		}
 		alerts := s.eng.TakeAlerts()
 		drifted := s.eng.DriftDetected()
 		s.mu.Unlock()
@@ -398,6 +504,20 @@ func (s *server) replay(ctx context.Context, rep *stream.Replayer, rate float64)
 	s.done = true
 	s.mu.Unlock()
 	return false, nil
+}
+
+// shutdown quiesces serving and then writes the final checkpoint (when
+// ckptPath is non-empty). The order is load-bearing and pinned by a
+// regression test: Close first drains the admission queue and waits for
+// in-flight micro-batches, so the checkpoint is never captured while
+// answers are still being produced — a resumed service starts from state at
+// least as fresh as every answer the old process gave.
+func (s *server) shutdown(ckptPath string) error {
+	s.batcher.Close()
+	if ckptPath == "" {
+		return nil
+	}
+	return s.writeCheckpoint(ckptPath)
 }
 
 func (s *server) writeCheckpoint(path string) error {
@@ -661,6 +781,10 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	obs.WriteValue(&b, "streamgnn_query_latency_quantile_seconds", `q="0.99"`, lat.Quantile(0.99))
 	obs.WriteHeader(&b, "streamgnn_query_batch_size", "Flushed micro-batch sizes, in queries per batch.", "histogram")
 	obs.WriteHistogram(&b, "streamgnn_query_batch_size", "", s.batcher.BatchSizeSnapshot())
+
+	if s.extraMetrics != nil {
+		s.extraMetrics(&b)
+	}
 
 	w.Write(b.Bytes())
 }

@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// The HTTP transport speaks the same wire types as Loopback, JSON-encoded
+// over POST. Floats ride inside Float64s (base64 of the IEEE-754 bits), so
+// the JSON detour costs no precision: localhost HTTP replicas are held to
+// the same bit-equality bar as in-process ones. Application errors come
+// back as a non-200 status with an {"error": "..."} body.
+
+// NewHTTPHandler serves a Replica's four RPCs under /cluster/.
+func NewHTTPHandler(r *Replica) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/cluster/hello", func(w http.ResponseWriter, req *http.Request) {
+		serveRPC(w, req, func(in HelloRequest) (HelloResponse, error) { return r.HandleHello(in) })
+	})
+	mux.HandleFunc("/cluster/forward", func(w http.ResponseWriter, req *http.Request) {
+		serveRPC(w, req, func(in ForwardRequest) (ForwardResponse, error) { return r.HandleForward(in) })
+	})
+	mux.HandleFunc("/cluster/publish", func(w http.ResponseWriter, req *http.Request) {
+		serveRPC(w, req, func(in PublishRequest) (PublishResponse, error) { return r.HandlePublish(in) })
+	})
+	mux.HandleFunc("/cluster/answer", func(w http.ResponseWriter, req *http.Request) {
+		serveRPC(w, req, func(in AnswerRequest) (AnswerResponse, error) { return r.HandleAnswer(in) })
+	})
+	return mux
+}
+
+func serveRPC[Req, Resp any](w http.ResponseWriter, r *http.Request, handle func(Req) (Resp, error)) {
+	if r.Method != http.MethodPost {
+		http.Error(w, `{"error":"POST only"}`, http.StatusMethodNotAllowed)
+		return
+	}
+	var req Req
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeRPCError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := handle(req)
+	if err != nil {
+		writeRPCError(w, http.StatusConflict, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+func writeRPCError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{Error: err.Error()})
+}
+
+// HTTPTransport is the coordinator-side client for a replica served by
+// NewHTTPHandler at Base (e.g. "http://127.0.0.1:9201").
+type HTTPTransport struct {
+	Base   string
+	Client *http.Client // nil means http.DefaultClient
+}
+
+func (t *HTTPTransport) call(op string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	client := t.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	url := strings.TrimRight(t.Base, "/") + "/cluster/" + op
+	httpResp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		var appErr struct {
+			Error string `json:"error"`
+		}
+		raw, _ := io.ReadAll(io.LimitReader(httpResp.Body, 4096))
+		if json.Unmarshal(raw, &appErr) == nil && appErr.Error != "" {
+			return fmt.Errorf("cluster: %s: %s", op, appErr.Error)
+		}
+		return fmt.Errorf("cluster: %s: HTTP %d", op, httpResp.StatusCode)
+	}
+	return json.NewDecoder(httpResp.Body).Decode(resp)
+}
+
+func (t *HTTPTransport) Hello(req HelloRequest) (HelloResponse, error) {
+	var resp HelloResponse
+	err := t.call("hello", req, &resp)
+	return resp, err
+}
+
+func (t *HTTPTransport) Forward(req ForwardRequest) (ForwardResponse, error) {
+	var resp ForwardResponse
+	err := t.call("forward", req, &resp)
+	return resp, err
+}
+
+func (t *HTTPTransport) Publish(req PublishRequest) (PublishResponse, error) {
+	var resp PublishResponse
+	err := t.call("publish", req, &resp)
+	return resp, err
+}
+
+func (t *HTTPTransport) Answer(req AnswerRequest) (AnswerResponse, error) {
+	var resp AnswerResponse
+	err := t.call("answer", req, &resp)
+	return resp, err
+}

@@ -1,0 +1,52 @@
+package cluster
+
+// Loopback is the in-process Transport: direct method calls into a Replica
+// living in the same process, zero copies beyond what the wire types already
+// make. It exists to prove the protocol exact — a coordinator driving P
+// loopback replicas must produce bit-identical embeddings, answers and
+// checkpoints to a single-process engine with Config.Shards = P — and to
+// give tests a place to inject failures without sockets.
+type Loopback struct {
+	R *Replica
+	// Fail, when set, is consulted before every RPC with the op name
+	// ("hello", "forward", "publish", "answer"); a non-nil return is
+	// surfaced as the transport error. Tests use it to knock a replica
+	// out for a step range and watch the coordinator fall back locally.
+	Fail func(op string) error
+}
+
+func (l *Loopback) Hello(req HelloRequest) (HelloResponse, error) {
+	if l.Fail != nil {
+		if err := l.Fail("hello"); err != nil {
+			return HelloResponse{}, err
+		}
+	}
+	return l.R.HandleHello(req)
+}
+
+func (l *Loopback) Forward(req ForwardRequest) (ForwardResponse, error) {
+	if l.Fail != nil {
+		if err := l.Fail("forward"); err != nil {
+			return ForwardResponse{}, err
+		}
+	}
+	return l.R.HandleForward(req)
+}
+
+func (l *Loopback) Publish(req PublishRequest) (PublishResponse, error) {
+	if l.Fail != nil {
+		if err := l.Fail("publish"); err != nil {
+			return PublishResponse{}, err
+		}
+	}
+	return l.R.HandlePublish(req)
+}
+
+func (l *Loopback) Answer(req AnswerRequest) (AnswerResponse, error) {
+	if l.Fail != nil {
+		if err := l.Fail("answer"); err != nil {
+			return AnswerResponse{}, err
+		}
+	}
+	return l.R.HandleAnswer(req)
+}

@@ -1,0 +1,56 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+
+	"streamgnn"
+)
+
+// SeedFromEngineCheckpoint warm-starts the replica's model mirror from a
+// coordinator engine checkpoint (any readable version, v3..v7): parameters
+// and recurrent state land in the mirror so the first full sync after
+// connecting moves no surprises — and a replica brought up from the same
+// checkpoint as a resuming coordinator starts bit-identical to it.
+//
+// The checkpoint must match the replica's model geometry, and — for v5+
+// checkpoints, which record the partition — its shard layout; a mismatch is
+// rejected before anything is mutated. Engine checkpoints carry the head
+// parameters after the model's (the engine's stable allParams order); the
+// head tail seeds nothing here (serving heads arrive with the first
+// Publish). The mirror's state version stays 0: a coordinator always full-
+// syncs on first contact, so seeding is an optimization, never a substitute
+// for synchronization.
+func (r *Replica) SeedFromEngineCheckpoint(rd io.Reader) error {
+	snap, err := streamgnn.ReadModelSnapshot(rd)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.configured {
+		return fmt.Errorf("cluster: seed needs a configured replica")
+	}
+	if snap.Info.Model != r.cfg.Model || snap.Info.Hidden != r.cfg.Hidden {
+		return fmt.Errorf("cluster: checkpoint is for %s/h=%d, replica mirrors %s/h=%d",
+			snap.Info.Model, snap.Info.Hidden, r.cfg.Model, r.cfg.Hidden)
+	}
+	if snap.Info.Shards != 0 { // 0 = pre-v5: no partition recorded
+		if snap.Info.Shards != r.cfg.Shards || (snap.Info.Shards > 1 && snap.Info.ShardLayout != r.cfg.Layout) {
+			return fmt.Errorf("cluster: checkpoint partition shards=%d/%s does not match replica shards=%d/%s",
+				snap.Info.Shards, snap.Info.ShardLayout, r.cfg.Shards, r.cfg.Layout)
+		}
+	}
+	params := r.model.Params()
+	if len(snap.Params) < len(params) {
+		return fmt.Errorf("cluster: checkpoint carries %d parameters, model mirror needs %d", len(snap.Params), len(params))
+	}
+	dumps := make([]Dump, len(params))
+	for i := range params {
+		dumps[i] = dumpOf(snap.Params[i])
+	}
+	if err := restoreParams(params, dumps); err != nil {
+		return err
+	}
+	return r.model.RestoreState(snap.States)
+}

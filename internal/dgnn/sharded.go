@@ -58,19 +58,7 @@ func ForwardShards(g *graph.Dynamic, m Model, parts [][]int, exact []int) []Shar
 		pg.PregrowState(g.N())
 	}
 	run := func(s int) {
-		nodes := parts[s]
-		res[s].Shard = s
-		if len(nodes) == 0 {
-			return
-		}
-		sub := g.Induced(nodes, nodes[0])
-		ids := intersectSorted(exact, nodes)
-		rows := LocalRows(sub.Nodes, ids)
-		v := DirtyView(sub, rows)
-		v.SnapshotState = true
-		res[s].IDs = ids
-		res[s].Rows = rows
-		res[s].Out = m.Forward(autodiff.NewTape(), v).Value
+		res[s] = ForwardPart(g, m, s, parts[s], exact)
 	}
 	if !parallel {
 		for s := range parts {
@@ -94,8 +82,34 @@ func ForwardShards(g *graph.Dynamic, m Model, parts [][]int, exact []int) []Shar
 	return res
 }
 
-// intersectSorted returns the elements common to two ascending id slices.
-func intersectSorted(a, b []int) []int {
+// ForwardPart runs one shard part's slice of a sharded incremental forward:
+// the committed subgraph forward over the part's nodes, with state gathered
+// from the BeginStep snapshot and write-back masked to the exact rows the
+// part contains. It is the unit of work ForwardShards fans out — and the
+// exact computation a shard replica executes remotely (internal/cluster), so
+// distributed and in-process runs share one code path and stay bit-identical.
+// nodes must be one component-respecting part (graph.RegionParts) and exact
+// the global exact-row set (ascending); both may span other shards — the
+// intersection is taken here. The caller is responsible for BeginStep and,
+// when parts run concurrently, for PregrowState.
+func ForwardPart(g *graph.Dynamic, m Model, s int, nodes, exact []int) ShardForward {
+	res := ShardForward{Shard: s}
+	if len(nodes) == 0 {
+		return res
+	}
+	sub := g.Induced(nodes, nodes[0])
+	ids := IntersectSorted(exact, nodes)
+	rows := LocalRows(sub.Nodes, ids)
+	v := DirtyView(sub, rows)
+	v.SnapshotState = true
+	res.IDs = ids
+	res.Rows = rows
+	res.Out = m.Forward(autodiff.NewTape(), v).Value
+	return res
+}
+
+// IntersectSorted returns the elements common to two ascending id slices.
+func IntersectSorted(a, b []int) []int {
 	var out []int
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {

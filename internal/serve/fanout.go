@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"sync"
+
+	"streamgnn/internal/query"
+)
+
+// Router decides where one query is answered: an index into the fan-out's
+// remote answerers, or -1 for the local one. It is called from batch
+// goroutines and must be safe for concurrent use.
+type Router func(req query.Request) int
+
+// NewFanout composes an Answerer that splits each micro-batch between the
+// local answerer and per-replica remote answerers (cluster mode: one per
+// shard-replica serving mirror), reassembling the answers in request order.
+// Remote slices run concurrently with the local slice. A remote that fails —
+// returns nil, or the wrong number of answers — has its slice re-answered
+// locally, so fan-out can only accelerate a batch, never fail it or change
+// an answer: the local answerer reads the same serving snapshot the replicas
+// mirror.
+func NewFanout(local Answerer, route Router, remotes []Answerer) Answerer {
+	if len(remotes) == 0 || route == nil {
+		return local
+	}
+	return func(reqs []query.Request) []query.Answer {
+		localIdx := make([]int, 0, len(reqs))
+		remoteIdx := make([][]int, len(remotes))
+		for i, r := range reqs {
+			if t := route(r); t >= 0 && t < len(remotes) && remotes[t] != nil {
+				remoteIdx[t] = append(remoteIdx[t], i)
+			} else {
+				localIdx = append(localIdx, i)
+			}
+		}
+		answers := make([]query.Answer, len(reqs))
+		scatter := func(idx []int, res []query.Answer) {
+			for k, i := range idx {
+				answers[i] = res[k]
+			}
+		}
+		gather := func(idx []int) []query.Request {
+			sub := make([]query.Request, len(idx))
+			for k, i := range idx {
+				sub[k] = reqs[i]
+			}
+			return sub
+		}
+
+		remoteRes := make([][]query.Answer, len(remotes))
+		var wg sync.WaitGroup
+		for t := range remotes {
+			if len(remoteIdx[t]) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(t int) {
+				defer wg.Done()
+				remoteRes[t] = remotes[t](gather(remoteIdx[t]))
+			}(t)
+		}
+		if len(localIdx) > 0 {
+			if res := local(gather(localIdx)); len(res) == len(localIdx) {
+				scatter(localIdx, res)
+			}
+		}
+		wg.Wait()
+
+		var retry []int
+		for t := range remotes {
+			if len(remoteIdx[t]) == 0 {
+				continue
+			}
+			if len(remoteRes[t]) == len(remoteIdx[t]) {
+				scatter(remoteIdx[t], remoteRes[t])
+			} else {
+				retry = append(retry, remoteIdx[t]...)
+			}
+		}
+		if len(retry) > 0 {
+			if res := local(gather(retry)); len(res) == len(retry) {
+				scatter(retry, res)
+			}
+		}
+		return answers
+	}
+}

@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"streamgnn/internal/query"
+)
+
+func scoreAnswerer(base float64, calls *atomic.Int64) Answerer {
+	return func(reqs []query.Request) []query.Answer {
+		if calls != nil {
+			calls.Add(1)
+		}
+		out := make([]query.Answer, len(reqs))
+		for i, r := range reqs {
+			out[i] = query.Answer{Score: base + float64(r.Anchor), OK: true}
+		}
+		return out
+	}
+}
+
+func TestFanoutSplitsAndReassembles(t *testing.T) {
+	var localCalls atomic.Int64
+	local := scoreAnswerer(1000, &localCalls)
+	remotes := []Answerer{scoreAnswerer(0, nil), scoreAnswerer(100, nil)}
+	route := func(r query.Request) int {
+		if r.Kind != query.KindEvent {
+			return -1
+		}
+		return r.Anchor % 2
+	}
+	fan := NewFanout(local, route, remotes)
+
+	reqs := []query.Request{
+		{Kind: query.KindEvent, Anchor: 0},                // remote 0
+		{Kind: query.KindEvent, Anchor: 1},                // remote 1
+		{Kind: query.KindLink, Src: 1, Dst: 2, Anchor: 7}, // local
+		{Kind: query.KindEvent, Anchor: 2},                // remote 0
+	}
+	got := fan(reqs)
+	want := []float64{0, 101, 1007, 2}
+	if len(got) != len(want) {
+		t.Fatalf("got %d answers, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if got[i].Score != w {
+			t.Fatalf("answer %d score %v, want %v (order not preserved)", i, got[i].Score, w)
+		}
+	}
+	if localCalls.Load() != 1 {
+		t.Fatalf("local answered %d slices, want 1", localCalls.Load())
+	}
+}
+
+// A failing remote must not fail (or reorder) the batch: its slice is
+// re-answered locally.
+func TestFanoutLocalFallback(t *testing.T) {
+	var localCalls atomic.Int64
+	local := scoreAnswerer(1000, &localCalls)
+	dead := func(reqs []query.Request) []query.Answer { return nil }
+	short := func(reqs []query.Request) []query.Answer { return make([]query.Answer, len(reqs)-1) }
+	fan := NewFanout(local, func(r query.Request) int { return r.Anchor % 2 }, []Answerer{dead, short})
+
+	reqs := []query.Request{
+		{Kind: query.KindEvent, Anchor: 0},
+		{Kind: query.KindEvent, Anchor: 1},
+		{Kind: query.KindEvent, Anchor: 2},
+		{Kind: query.KindEvent, Anchor: 3},
+	}
+	got := fan(reqs)
+	for i, r := range reqs {
+		if want := 1000 + float64(r.Anchor); got[i].Score != want {
+			t.Fatalf("answer %d score %v, want local %v", i, got[i].Score, want)
+		}
+	}
+}
+
+// With no remotes, NewFanout is the local answerer — no wrapper overhead in
+// single-process mode.
+func TestFanoutDegeneratesToLocal(t *testing.T) {
+	local := scoreAnswerer(0, nil)
+	fan := NewFanout(local, nil, nil)
+	got := fan([]query.Request{{Kind: query.KindEvent, Anchor: 4}})
+	if len(got) != 1 || got[0].Score != 4 {
+		t.Fatalf("degenerate fan-out answered %+v", got)
+	}
+}

@@ -18,8 +18,8 @@ import (
 // labels drift in the storm's wake: an ugly workload for anything that
 // assumes a quiet edge set, partition caches included.
 //
-// Churn is not one of the paper's five datasets and stays out of Names();
-// it is reachable through ByName for benches and experiments.
+// Churn is not one of the paper's five datasets, but it is registered in
+// Names() alongside them so generators and services can list it.
 func Churn(cfg GenConfig) *Dataset {
 	cfg = cfg.withDefaults(8)
 	rng := rand.New(rand.NewSource(cfg.Seed))

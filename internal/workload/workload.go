@@ -105,16 +105,15 @@ func ByName(name string, cfg GenConfig) (*Dataset, error) {
 	case "UCIMessages":
 		return UCIMessages(cfg), nil
 	case "Churn":
-		// Adversarial edge-churn stream for the scheduler A/B; deliberately
-		// not in Names() — it is a stress workload, not a paper dataset.
 		return Churn(cfg), nil
 	}
 	return nil, fmt.Errorf("workload: unknown dataset %q", name)
 }
 
-// Names lists the five datasets.
+// Names lists the built-in workloads: the five paper datasets plus the
+// adversarial edge-churn stress stream.
 func Names() []string {
-	return []string{"Bitcoin", "Reddit", "Taxi", "StackOverflow", "UCIMessages"}
+	return []string{"Bitcoin", "Reddit", "Taxi", "StackOverflow", "UCIMessages", "Churn"}
 }
 
 // regimeProcess models drifting latent activity for a set of regions: each

@@ -58,6 +58,15 @@ func (s *QuerySnapshot) Rows() int {
 	return s.emb.Rows
 }
 
+// Emb exposes the snapshot's embedding matrix. It is immutable after
+// publication; callers must treat it as read-only. The cluster coordinator
+// reads it to push changed rows to replica serving mirrors.
+func (s *QuerySnapshot) Emb() *tensor.Matrix { return s.emb }
+
+// Heads exposes the snapshot's prediction heads — a value clone frozen at
+// publication, safe to read (never mutate) from any goroutine.
+func (s *QuerySnapshot) Heads() *query.Heads { return s.heads }
+
 // Answer evaluates a batch of predictive queries against the snapshot:
 // one stacked head application per task kind instead of one per query, with
 // answers in request order, bit-identical to answering each query alone (see

@@ -398,6 +398,7 @@ type Engine struct {
 	delta       dgnn.DeltaState // per-stage delta caches (DeltaForward mode)
 	deltaFwd    dgnn.DeltaForwarder
 	shards      *shard.Sharding // node-space partition; nil when Shards <= 1
+	shardFwd    ShardForwarder  // optional remote executor for sharded forwards
 	mkScheduler func() (*core.Scheduler, error)
 	// pending is checkpoint state that can only be applied once the
 	// scheduler exists (it is created lazily at the first Step).
@@ -430,6 +431,55 @@ type pendingRestore struct {
 	kdeOldest     int
 	hasKDE        bool
 }
+
+// ShardForwarder executes the sharded region forwards of incremental steps
+// on behalf of the engine — the seam the coordinator/replica split
+// (internal/cluster) plugs into. The engine still computes the dirty set,
+// the exact/region expansion and the full-forward fallback decision globally
+// (so they cannot depend on where parts execute), then hands the
+// component-respecting parts and the global exact set to the forwarder,
+// which must return per-shard results exactly as dgnn.ForwardShards would:
+// res[s].Out carrying the committed values of res[s].IDs, with the model's
+// recurrent state rows for those ids advanced in the engine's own model.
+// The engine merges the results in the usual deterministic MergeShards
+// order, so a forwarder that is row-exact preserves bit-equality with the
+// in-process path.
+type ShardForwarder interface {
+	// ForwardShards runs one forward per non-empty part for the given step
+	// and returns results indexed like parts. BeginStep has already run.
+	ForwardShards(step int, parts [][]int, exact []int) []dgnn.ShardForward
+	// InvalidateMirrors tells the forwarder that every cached model mirror
+	// (parameters, recurrent state, serving heads) is stale: training moved
+	// the parameters, or a full forward rewrote all state rows.
+	InvalidateMirrors()
+}
+
+// SetShardForwarder installs f as the executor of sharded region forwards.
+// Requires a sharded engine (Config.Shards > 1); incompatible with
+// DeltaForward, whose per-stage caches have no per-shard decomposition to
+// distribute. Pass nil to restore the in-process fan-out.
+func (e *Engine) SetShardForwarder(f ShardForwarder) error {
+	if f == nil {
+		e.shardFwd = nil
+		return nil
+	}
+	if e.shards == nil {
+		return fmt.Errorf("streamgnn: SetShardForwarder requires Shards > 1")
+	}
+	if e.deltaFwd != nil {
+		return fmt.Errorf("streamgnn: SetShardForwarder is incompatible with DeltaForward")
+	}
+	e.shardFwd = f
+	return nil
+}
+
+// Model exposes the engine's DGNN model for coordinators that mirror its
+// parameters and recurrent state across replicas (internal/cluster). Read
+// or snapshot it only between Step calls.
+func (e *Engine) Model() dgnn.Model { return e.model }
+
+// Config returns the engine's filled configuration.
+func (e *Engine) Config() Config { return e.cfg }
 
 // allParams returns the trainable parameters (model first, then heads),
 // in the stable order checkpoints rely on.
@@ -746,6 +796,11 @@ func (e *Engine) runForward(t int) {
 		e.lastEmb = out
 		e.tele.fullForwards.Inc()
 		e.tele.dirtyFrac.Observe(1)
+		if e.shardFwd != nil {
+			// The unmasked full forward advanced every live state row, so
+			// replica state mirrors no longer match row-for-row.
+			e.shardFwd.InvalidateMirrors()
+		}
 		return
 	}
 
@@ -757,7 +812,12 @@ func (e *Engine) runForward(t int) {
 		// to the same rows of the single-region forward; the merge then
 		// splices them in fixed shard-index order.
 		parts := e.g.RegionParts(region)
-		res := dgnn.ForwardShards(e.g, e.model, parts, exact)
+		var res []dgnn.ShardForward
+		if e.shardFwd != nil {
+			res = e.shardFwd.ForwardShards(t, parts, exact)
+		} else {
+			res = dgnn.ForwardShards(e.g, e.model, parts, exact)
+		}
 		mergeStart := time.Now()
 		dgnn.MergeShards(e.emb, res)
 		e.tele.shardMerge.ObserveSince(mergeStart)
@@ -785,6 +845,9 @@ func (e *Engine) runForward(t int) {
 func (e *Engine) invalidateInference() {
 	e.emb.Invalidate()
 	e.delta.Invalidate()
+	if e.shardFwd != nil {
+		e.shardFwd.InvalidateMirrors()
+	}
 }
 
 // runDeltaForward is the event-driven variant of the incremental forward

@@ -4,7 +4,8 @@
 // wall-clock reads leak into computation.
 //
 // Three checks, scoped to the packages where the invariant holds
-// (internal/core, dgnn, graph, tensor, kde, sampling, query, shard):
+// (internal/core, dgnn, graph, tensor, kde, sampling, query, shard,
+// cluster):
 //
 //  1. A `range` over a map whose body feeds ordered computation — a
 //     floating-point accumulation into one variable, an RNG draw, or an
@@ -49,6 +50,7 @@ var scope = map[string]bool{
 	"streamgnn/internal/sampling": true,
 	"streamgnn/internal/query":    true,
 	"streamgnn/internal/shard":    true,
+	"streamgnn/internal/cluster":  true,
 }
 
 const directive = "ordered-ok"
